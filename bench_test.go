@@ -1,0 +1,116 @@
+package flashdc
+
+// One benchmark per paper table and figure: each regenerates the
+// artifact at the quick scale, so `go test -bench=.` exercises the
+// whole evaluation pipeline and reports how long each reproduction
+// takes. BenchmarkCache* micro-benchmarks time the hot paths of the
+// cache itself.
+
+import (
+	"testing"
+
+	"flashdc/internal/experiments"
+	"flashdc/internal/sim"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	o := experiments.QuickOptions()
+	for i := 0; i < b.N; i++ {
+		tab := experiments.MustRun(id, o)
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkFig1b(b *testing.B)  { benchExperiment(b, "fig1b") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig6a(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+
+func BenchmarkAblateSplit(b *testing.B) { benchExperiment(b, "ablate-split") }
+func BenchmarkAblateWear(b *testing.B)  { benchExperiment(b, "ablate-wear") }
+func BenchmarkAblateHot(b *testing.B)   { benchExperiment(b, "ablate-hot") }
+func BenchmarkAblateGC(b *testing.B)    { benchExperiment(b, "ablate-gc") }
+
+// BenchmarkCacheReadHit times the cache hit path (FCHT lookup, device
+// read, ECC latency accounting, LRU update).
+func BenchmarkCacheReadHit(b *testing.B) {
+	c := NewCache(DefaultCacheConfig(16 << 20))
+	for i := int64(0); i < 1000; i++ {
+		c.Insert(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Read(int64(i % 1000)).Hit {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkCacheWrite times the out-of-place write path including
+// background GC amortised over a churning working set.
+func BenchmarkCacheWrite(b *testing.B) {
+	c := NewCache(DefaultCacheConfig(16 << 20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Write(int64(i % 4000))
+	}
+}
+
+// BenchmarkCacheMixed times a 70/30 read/write mix over a working set
+// twice the cache size (steady-state miss handling included).
+func BenchmarkCacheMixed(b *testing.B) {
+	c := NewCache(DefaultCacheConfig(16 << 20))
+	rng := sim.NewRNG(1)
+	wss := 2 * int(c.CapacityPages())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lba := int64(rng.Intn(wss))
+		if rng.Bool(0.3) {
+			c.Write(lba)
+		} else if !c.Read(lba).Hit {
+			c.Insert(lba)
+		}
+	}
+}
+
+// BenchmarkHierarchyRequest times a full request through DRAM, Flash
+// and disk models with a dbt2-like access stream.
+func BenchmarkHierarchyRequest(b *testing.B) {
+	s := NewSystem(SystemConfig{DRAMBytes: 1 << 20, FlashBytes: 16 << 20, Seed: 1})
+	g, err := NewWorkload("dbt2", 0.01, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Handle(g.Next())
+	}
+}
+
+// BenchmarkWorkloadNext times trace generation alone.
+func BenchmarkWorkloadNext(b *testing.B) {
+	for _, name := range []string{"uniform", "alpha2", "exp1", "dbt2"} {
+		b.Run(name, func(b *testing.B) {
+			g, err := NewWorkload(name, 0.01, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Next()
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+// Command fdcbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fdcbench [-exp all|<id>[,<id>...]] [-scale 0.0625] [-seed 1] [-requests n]
+//
+// Each experiment prints an aligned text table whose rows correspond
+// to the series of the paper artifact (see DESIGN.md for the index).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"flashdc/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id, comma list, or 'all'")
+		scale    = flag.Float64("scale", 1.0/16, "capacity/footprint scale relative to the paper (0,1]")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		requests = flag.Int("requests", 0, "per-configuration request budget (0 = experiment default)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		format   = flag.String("format", "text", "output format: text or json")
+		parallel = flag.Int("parallel", 1, "experiments to run concurrently (results print in order)")
+		plot     = flag.Bool("plot", false, "render an ASCII bar chart of each table's headline column")
+		seeds    = flag.Int("seeds", 1, "average each experiment over this many seeds (mean±stddev cells)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "fdcbench: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Requests: *requests}
+
+	// Run (optionally in parallel — experiments are independent and
+	// internally deterministic), then print in the requested order.
+	type result struct {
+		tab     *experiments.Table
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]result, len(ids))
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		i, id := i, strings.TrimSpace(id)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			var tab *experiments.Table
+			var err error
+			if *seeds > 1 {
+				tab, err = experiments.RunSeeds(id, opts, *seeds)
+			} else {
+				tab, err = experiments.Run(id, opts)
+			}
+			results[i] = result{tab: tab, err: err, elapsed: time.Since(start)}
+		}()
+	}
+	wg.Wait()
+
+	var tables []*experiments.Table
+	for i, id := range ids {
+		r := results[i]
+		if r.err != nil {
+			fmt.Fprintln(os.Stderr, "fdcbench:", r.err)
+			os.Exit(1)
+		}
+		if *format == "json" {
+			tables = append(tables, r.tab)
+			continue
+		}
+		fmt.Println(r.tab.String())
+		if *plot {
+			fmt.Println(r.tab.Chart(r.tab.DefaultChartColumn(), 48))
+		}
+		fmt.Printf("   (%s in %v)\n\n", id, r.elapsed.Round(time.Millisecond))
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, "fdcbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Command fdcsim is the trace-driven Flash disk cache simulator: it
+// replays a disk trace (from a file produced by tracegen, or generated
+// on the fly from the Table 4 catalog) against the full memory
+// hierarchy and reports miss rates, latency, power and controller
+// activity.
+//
+// Usage:
+//
+//	fdcsim -workload dbt2 -scale 0.0625 -requests 200000
+//	fdcsim -trace trace.txt -dram 32M -flash 128M
+//	fdcsim -workload SPECWeb99 -unified -no-programmable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"flashdc/internal/core"
+	"flashdc/internal/hier"
+	"flashdc/internal/server"
+	"flashdc/internal/trace"
+	"flashdc/internal/workload"
+)
+
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult = 1 << 30
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "M"):
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "K"):
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %v", s, err)
+	}
+	return v * mult, nil
+}
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "dbt2", "Table 4 workload name (ignored with -trace)")
+		traceFile    = flag.String("trace", "", "replay a trace file instead of generating")
+		scale        = flag.Float64("scale", 1.0/16, "footprint scale for generated workloads")
+		requests     = flag.Int("requests", 200000, "requests to simulate")
+		dramSize     = flag.String("dram", "16M", "DRAM primary disk cache size")
+		flashSize    = flag.String("flash", "128M", "Flash cache size (0 disables Flash)")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		unified      = flag.Bool("unified", false, "use the unified (non-split) Flash cache baseline")
+		noProg       = flag.Bool("no-programmable", false, "disable the programmable controller (fixed BCH-1)")
+		wearAccel    = flag.Float64("wear-accel", 1, "wear acceleration factor")
+	)
+	flag.Parse()
+
+	dram, err := parseSize(*dramSize)
+	die(err)
+	flash, err := parseSize(*flashSize)
+	die(err)
+
+	fc := core.DefaultConfig(flash)
+	fc.Split = !*unified
+	fc.Programmable = !*noProg
+	fc.WearAcceleration = *wearAccel
+
+	cfg := hier.Config{DRAMBytes: dram, FlashBytes: flash, Seed: *seed}
+	if flash > 0 {
+		cfg.Flash = fc
+	}
+	sys := hier.New(cfg)
+
+	var next func() (trace.Request, bool)
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		die(err)
+		defer f.Close()
+		r := trace.NewReader(f)
+		next = func() (trace.Request, bool) {
+			req, err := r.Read()
+			if err == io.EOF {
+				return trace.Request{}, false
+			}
+			die(err)
+			return req, true
+		}
+	} else {
+		g, err := workload.New(*workloadName, *scale, *seed)
+		die(err)
+		next = func() (trace.Request, bool) { return g.Next(), true }
+	}
+
+	stats := trace.NewStats()
+	for i := 0; i < *requests; i++ {
+		req, ok := next()
+		if !ok {
+			break
+		}
+		stats.Add(req)
+		sys.Handle(req)
+	}
+	sys.Drain()
+
+	st := sys.Stats()
+	fmt.Printf("requests:          %d (%d read pages, %d write pages)\n",
+		st.Requests, st.ReadPages, st.WritePages)
+	fmt.Printf("trace footprint:   %d pages (%.1f MB), %.1f%% writes\n",
+		stats.UniquePages(), float64(stats.WorkingSetBytes())/float64(1<<20),
+		100*stats.WriteFraction())
+	fmt.Printf("PDC hits:          %d (%.2f%% of pages)\n",
+		st.PDCHits, pct(st.PDCHits, st.ReadPages+st.WritePages))
+	fmt.Printf("flash hits:        %d\n", st.FlashHits)
+	fmt.Printf("disk reads:        %d\n", st.DiskReads)
+	fmt.Printf("avg latency:       %v\n", st.AvgLatency())
+	fmt.Printf("latency profile:   %v\n", sys.Latencies())
+	srv := server.Default()
+	fmt.Printf("est. bandwidth:    %.1f MB/s (%.0f req/s)\n",
+		srv.Bandwidth(st.AvgLatency())/(1<<20), srv.Throughput(st.AvgLatency()))
+
+	if fcache := sys.Flash(); fcache != nil {
+		cs := fcache.Stats()
+		gl := fcache.Global()
+		fmt.Printf("flash miss rate:   %.4f\n", cs.MissRate())
+		fmt.Printf("flash GC:          %d runs, %d relocations, %v background time\n",
+			cs.GCRuns, cs.GCRelocations, cs.GCTime)
+		fmt.Printf("flash evictions:   %d (%d pages flushed to disk)\n",
+			cs.Evictions, cs.FlushedPages)
+		fmt.Printf("wear swaps:        %d, promotions: %d\n", cs.WearSwaps, cs.Promotions)
+		fmt.Printf("reconfig events:   %d ECC, %d density\n",
+			gl.ECCReconfigs, gl.DensityReconfigs)
+		fmt.Printf("retired blocks:    %d (dead=%v)\n", cs.RetiredBlocks, fcache.Dead())
+		ds := fcache.DeviceStats()
+		fmt.Printf("device ops:        %d reads, %d programs, %d erases\n",
+			ds.Reads, ds.Programs, ds.Erases)
+	}
+	elapsed := srv.Elapsed(st.Requests, st.AvgLatency())
+	if db := sys.DiskBusy(); db > elapsed {
+		elapsed = db
+	}
+	if elapsed > 0 {
+		fmt.Printf("power:             %v\n", sys.Power(elapsed))
+	}
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdcsim:", err)
+		os.Exit(1)
+	}
+}

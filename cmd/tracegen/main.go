@@ -1,0 +1,61 @@
+// Command tracegen emits disk access traces from the Table 4 workload
+// catalog in the text format fdcsim replays.
+//
+// Usage:
+//
+//	tracegen -workload Financial2 -requests 100000 -scale 0.0625 > f2.trace
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashdc/internal/trace"
+	"flashdc/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "dbt2", "Table 4 workload name")
+		requests = flag.Int("requests", 100000, "number of requests to emit")
+		scale    = flag.Float64("scale", 1.0/16, "footprint scale (1 = paper size)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list catalog and exit")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Catalog {
+			fmt.Printf("%-12s %-5s footprint=%dMB writes=%.0f%%  %s\n",
+				s.Name, s.Kind, s.FootprintBytes>>20, 100*s.WriteFraction, s.Description)
+		}
+		return
+	}
+
+	g, err := workload.New(*name, *scale, *seed)
+	die(err)
+
+	f := os.Stdout
+	if *out != "" {
+		f, err = os.Create(*out)
+		die(err)
+		defer f.Close()
+	}
+	w := trace.NewWriter(f)
+	fmt.Fprintf(f, "# workload=%s scale=%g seed=%d requests=%d footprint=%d pages\n",
+		g.Name(), *scale, *seed, *requests, g.FootprintPages())
+	for i := 0; i < *requests; i++ {
+		die(w.Write(g.Next()))
+	}
+	die(w.Flush())
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

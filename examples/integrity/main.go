@@ -1,0 +1,68 @@
+// Integrity: the section 4 controller pipeline on real bytes — store
+// 2KB pages with BCH+CRC protection on the simulated NAND device, age
+// the device until wear flips actual bits, and watch the real decoder
+// recover the data (and report honestly when the code is too weak).
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"flashdc/internal/ecc"
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/wear"
+)
+
+func main() {
+	dev := nand.New(nand.Config{
+		Blocks:           4,
+		InitialMode:      wear.MLC,
+		Seed:             42,
+		WearAcceleration: 3000, // compress years of wear into the demo
+	})
+	codec := ecc.NewCodec()
+	rng := sim.NewRNG(7)
+	payload := make([]byte, ecc.PageSize)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+
+	fmt.Println("aging block 0 with erase cycles...")
+	for cycles := 0; dev.BitErrors(nand.Addr{}) < 4; cycles++ {
+		if _, err := dev.Erase(0); err != nil {
+			panic(err)
+		}
+	}
+	errs := dev.BitErrors(nand.Addr{})
+	fmt.Printf("block 0 now develops %d bit errors per page read\n\n", errs)
+
+	for _, t := range []ecc.Strength{ecc.Strength(errs - 2), ecc.Strength(errs + 2)} {
+		if t < 1 {
+			t = 1
+		}
+		spare := codec.Encode(t, payload)
+		if _, err := dev.ProgramPage(nand.Addr{}, 1, payload, spare); err != nil {
+			panic(err)
+		}
+		buf, res, err := dev.ReadPage(nand.Addr{})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("ECC strength t=%d against %d worn cells:\n", t, res.BitErrors)
+		corrected, decErr := codec.Decode(t, buf.Data, buf.Spare)
+		switch {
+		case decErr != nil:
+			fmt.Printf("  decoder: %v (the programmable controller would now\n", decErr)
+			fmt.Println("  stage a stronger code or an MLC->SLC switch, section 5.2)")
+		case bytes.Equal(buf.Data, payload):
+			fmt.Printf("  recovered bit-exact after correcting %d errors\n", corrected)
+		default:
+			fmt.Println("  SILENT CORRUPTION — must never happen")
+		}
+		fmt.Println()
+		if _, err := dev.Erase(0); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Lifetime: the Figure 12 scenario — run a write-heavy financial
+// workload against the Flash cache until total Flash failure, with the
+// programmable controller versus a fixed BCH-1 controller, and watch
+// the controller's ECC/density decisions along the way.
+package main
+
+import (
+	"fmt"
+
+	"flashdc"
+)
+
+func lifetime(programmable bool) (accesses int64, eccEvents, densityEvents int64) {
+	g, err := flashdc.NewWorkload("Financial1", 1.0/32, 11)
+	if err != nil {
+		panic(err)
+	}
+	cfg := flashdc.DefaultCacheConfig(g.FootprintPages() * 2048 / 2)
+	cfg.Programmable = programmable
+	cfg.Seed = 11
+	// Compress wear so end of life arrives within the demo budget;
+	// identical for both controllers, so the ratio is meaningful.
+	cfg.WearAcceleration = 2000
+	cache := flashdc.NewCache(cfg)
+
+	for i := 0; i < 10_000_000 && !cache.Dead(); i++ {
+		r := g.Next()
+		r.Expand(func(lba int64) {
+			accesses++
+			if r.Op == flashdc.OpWrite {
+				cache.Write(lba)
+				return
+			}
+			if !cache.Read(lba).Hit {
+				cache.Insert(lba)
+			}
+		})
+	}
+	gl := cache.Global()
+	return accesses, gl.ECCReconfigs, gl.DensityReconfigs
+}
+
+func main() {
+	fmt.Println("Flash lifetime to total failure: programmable controller vs BCH-1")
+	fmt.Println("(Figure 12 scenario: Financial1, Flash = working set / 2, accelerated wear)")
+	fmt.Println()
+
+	progLife, ecc, density := lifetime(true)
+	baseLife, _, _ := lifetime(false)
+
+	fmt.Printf("programmable controller: %8d accesses until total failure\n", progLife)
+	fmt.Printf("  controller decisions:  %d ECC strength increases, %d density reductions\n",
+		ecc, density)
+	fmt.Printf("fixed BCH-1 controller:  %8d accesses until total failure\n", baseLife)
+	fmt.Printf("\nlifetime extension: %.1fx (paper reports ~20x on average)\n",
+		float64(progLife)/float64(baseLife))
+}

@@ -1,0 +1,189 @@
+// Package flashdc is a full reproduction of "Improving NAND Flash
+// Based Disk Caches" (Kgil, Roberts, Mudge — ISCA 2008): a NAND Flash
+// secondary disk cache with a split read/write organisation,
+// wear-level aware replacement, and a programmable Flash memory
+// controller offering per-page variable-strength BCH ECC and SLC/MLC
+// density control.
+//
+// # Architecture
+//
+// The library is layered bottom-up (each layer is independently usable
+// and tested):
+//
+//   - internal/gf, internal/bch, internal/crcx: GF(2^m) arithmetic, a
+//     real binary BCH codec (Berlekamp–Massey + Chien search), and a
+//     parallel CRC-32 engine — the controller's error machinery.
+//   - internal/ecc: the variable-strength page codec (CRC32 + BCH in
+//     the 64-byte spare area) plus the 100MHz hardware accelerator
+//     latency model.
+//   - internal/wear: the exponential cell wear-out model (Figure 6(b)).
+//   - internal/nand: the dual-mode SLC/MLC NAND device (2KB pages, 64
+//     slots per block, Table 3 timing, wear-driven bit errors).
+//   - internal/core: the paper's contribution — the Flash disk cache
+//     with FCHT/FPST/FBST/FGST management tables, split regions,
+//     background GC, wear levelling and controller reconfiguration.
+//   - internal/dram, internal/disk, internal/hier, internal/server:
+//     the rest of the platform — DRAM primary disk cache, hard disk,
+//     the assembled hierarchy, and the closed-loop server throughput
+//     model.
+//   - internal/workload, internal/trace: Table 4 workload generators
+//     and the trace format.
+//   - internal/experiments: one runner per paper table and figure.
+//
+// This package re-exports the pieces a downstream user needs, so that
+// `import "flashdc"` is enough for common use. See the examples/
+// directory for runnable programs and cmd/fdcbench for the experiment
+// harness.
+package flashdc
+
+import (
+	"io"
+
+	"flashdc/internal/array"
+	"flashdc/internal/core"
+	"flashdc/internal/experiments"
+	"flashdc/internal/ftl"
+	"flashdc/internal/hier"
+	"flashdc/internal/server"
+	"flashdc/internal/sim"
+	"flashdc/internal/trace"
+	"flashdc/internal/wear"
+	"flashdc/internal/workload"
+)
+
+// Core cache API (the paper's contribution).
+type (
+	// CacheConfig parameterises the Flash disk cache.
+	CacheConfig = core.Config
+	// Cache is the Flash-based secondary disk cache.
+	Cache = core.Cache
+	// CacheStats aggregates cache activity.
+	CacheStats = core.Stats
+	// Backing receives dirty write-backs from the cache.
+	Backing = core.Backing
+)
+
+// DefaultCacheConfig returns the paper's configuration (split 90/10,
+// programmable controller, MLC base, BCH-1 base strength) for the
+// given Flash capacity in bytes.
+func DefaultCacheConfig(flashBytes int64) CacheConfig {
+	return core.DefaultConfig(flashBytes)
+}
+
+// NewCache builds a Flash disk cache.
+func NewCache(cfg CacheConfig) *Cache { return core.New(cfg) }
+
+// Hierarchy API (DRAM primary disk cache + Flash + disk, Figure 2).
+type (
+	// SystemConfig sizes a full memory hierarchy.
+	SystemConfig = hier.Config
+	// System is an assembled hierarchy driven by requests.
+	System = hier.System
+	// SystemStats aggregates hierarchy behaviour.
+	SystemStats = hier.Stats
+)
+
+// NewSystem assembles a hierarchy; FlashBytes == 0 builds the
+// DRAM-only baseline.
+func NewSystem(cfg SystemConfig) *System { return hier.New(cfg) }
+
+// Workload and trace API (Table 4).
+type (
+	// Request is one disk access (2KB pages).
+	Request = trace.Request
+	// Workload is an endless request generator.
+	Workload = workload.Generator
+	// WorkloadSpec describes a catalog entry.
+	WorkloadSpec = workload.Spec
+)
+
+// Request directions.
+const (
+	OpRead  = trace.OpRead
+	OpWrite = trace.OpWrite
+)
+
+// Workloads lists the Table 4 catalog.
+func Workloads() []WorkloadSpec { return workload.Catalog }
+
+// NewWorkload builds a named Table 4 workload at the given footprint
+// scale (1.0 = paper size) and seed.
+func NewWorkload(name string, scale float64, seed uint64) (Workload, error) {
+	return workload.New(name, scale, seed)
+}
+
+// Server throughput model (substitute for the paper's M5 platform).
+type ServerModel = server.Model
+
+// DefaultServer returns the Table 3 platform model (8 workers).
+func DefaultServer() ServerModel { return server.Default() }
+
+// Experiment harness: regenerate any paper table or figure.
+type (
+	// ExperimentOptions tunes scale, seed and request budget.
+	ExperimentOptions = experiments.Options
+	// ResultTable is a reproduced paper artifact.
+	ResultTable = experiments.Table
+)
+
+// Experiments lists every artifact ID (table1..4, fig1b..fig12,
+// ablations).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper artifact.
+func RunExperiment(id string, o ExperimentOptions) (*ResultTable, error) {
+	return experiments.Run(id, o)
+}
+
+// DefaultExperimentOptions is the standard 1/16-scale configuration.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// Simulated time units, re-exported for configuration convenience.
+type Duration = sim.Duration
+
+// Duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Flash-as-SSD substrate: the log-structured FTL the paper's
+// background section contrasts the disk cache against.
+type (
+	// FTLConfig sizes a log-structured Flash translation layer.
+	FTLConfig = ftl.Config
+	// FTL is a flash-as-disk device with out-of-place writes and
+	// greedy cleaning.
+	FTL = ftl.FTL
+)
+
+// NewFTL builds a log-structured FTL over a fresh NAND device.
+func NewFTL(cfg FTLConfig) *FTL { return ftl.New(cfg) }
+
+// Multi-chip deployment: pages striped across independent channels.
+type (
+	// ArrayConfig sizes a multi-chip Flash array.
+	ArrayConfig = array.Config
+	// FlashArray schedules operations across striped chips.
+	FlashArray = array.Array
+)
+
+// NewFlashArray builds a page-striped multi-chip array.
+func NewFlashArray(cfg ArrayConfig) *FlashArray { return array.New(cfg) }
+
+// Cell density modes, re-exported for configuration.
+const (
+	// ModeSLC stores one bit per cell (fast, durable).
+	ModeSLC = wear.SLC
+	// ModeMLC stores two bits per cell (dense, default).
+	ModeMLC = wear.MLC
+)
+
+// LoadCacheMetadata rebuilds a cache from a metadata image written by
+// Cache.SaveMetadata, restoring the Flash contents and wear state (the
+// paper's tables are sourced from disk at run time, section 3).
+func LoadCacheMetadata(cfg CacheConfig, r io.Reader) (*Cache, error) {
+	return core.LoadMetadata(cfg, r)
+}

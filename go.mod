@@ -1,0 +1,3 @@
+module flashdc
+
+go 1.22

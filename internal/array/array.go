@@ -1,0 +1,166 @@
+// Package array models a multi-chip Flash deployment: pages striped
+// across independent NAND devices ("channels"), each with its own
+// availability timeline, so operations on different chips overlap in
+// time. A server platform would deploy the paper's disk cache this
+// way — Table 2's single-chip latencies are high, and channel
+// interleaving is how aggregate bandwidth scales.
+//
+// The array tracks per-chip earliest-availability times: submitting an
+// operation at simulated time now schedules it at max(now, chip
+// available) and returns its completion time. Callers that want a
+// simple throughput figure use Makespan after a batch.
+package array
+
+import (
+	"fmt"
+
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/wear"
+)
+
+// Config describes the array.
+type Config struct {
+	// Chips is the number of channels (independent devices).
+	Chips int
+	// BlocksPerChip sizes each device.
+	BlocksPerChip int
+	// Mode is the cell density.
+	Mode wear.Mode
+	// Seed drives wear sampling (each chip gets a distinct stream).
+	Seed uint64
+}
+
+// Array is a striped set of NAND devices. Not safe for concurrent use.
+type Array struct {
+	cfg   Config
+	chips []*nand.Device
+	avail []sim.Time
+	ppb   int // pages per block per chip
+}
+
+// New builds the array. It panics on degenerate configurations.
+func New(cfg Config) *Array {
+	if cfg.Chips < 1 {
+		panic("array: need at least one chip")
+	}
+	if cfg.BlocksPerChip < 1 {
+		panic("array: need at least one block per chip")
+	}
+	a := &Array{
+		cfg:   cfg,
+		chips: make([]*nand.Device, cfg.Chips),
+		avail: make([]sim.Time, cfg.Chips),
+		ppb:   nand.SlotsPerBlock,
+	}
+	if cfg.Mode == wear.MLC {
+		a.ppb *= 2
+	}
+	for i := range a.chips {
+		a.chips[i] = nand.New(nand.Config{
+			Blocks:      cfg.BlocksPerChip,
+			InitialMode: cfg.Mode,
+			Seed:        cfg.Seed + uint64(i)*1000003,
+		})
+	}
+	return a
+}
+
+// Chips returns the channel count.
+func (a *Array) Chips() int { return len(a.chips) }
+
+// Pages returns the total addressable page count.
+func (a *Array) Pages() int64 {
+	return int64(len(a.chips)) * int64(a.cfg.BlocksPerChip) * int64(a.ppb)
+}
+
+// locate maps a global page number to (chip, device address):
+// low-order striping so consecutive pages land on different channels.
+func (a *Array) locate(page int64) (int, nand.Addr, error) {
+	if page < 0 || page >= a.Pages() {
+		return 0, nand.Addr{}, fmt.Errorf("array: page %d out of range", page)
+	}
+	chip := int(page % int64(len(a.chips)))
+	local := page / int64(len(a.chips))
+	block := int(local / int64(a.ppb))
+	idx := int(local % int64(a.ppb))
+	addr := nand.Addr{Block: block, Slot: idx}
+	if a.cfg.Mode == wear.MLC {
+		addr = nand.Addr{Block: block, Slot: idx / 2, Sub: idx % 2}
+	}
+	return chip, addr, nil
+}
+
+// schedule runs op on the chip no earlier than now, returning the
+// completion time.
+func (a *Array) schedule(chip int, now sim.Time, d sim.Duration) sim.Time {
+	start := now
+	if a.avail[chip].After(start) {
+		start = a.avail[chip]
+	}
+	done := start.Add(d)
+	a.avail[chip] = done
+	return done
+}
+
+// ReadAt submits a page read at simulated time now and returns the
+// device result plus its completion time.
+func (a *Array) ReadAt(page int64, now sim.Time) (nand.ReadResult, sim.Time, error) {
+	chip, addr, err := a.locate(page)
+	if err != nil {
+		return nand.ReadResult{}, 0, err
+	}
+	res, err := a.chips[chip].Read(addr)
+	if err != nil {
+		return nand.ReadResult{}, 0, err
+	}
+	return res, a.schedule(chip, now, res.Latency), nil
+}
+
+// ProgramAt submits a page program at time now and returns its
+// completion time. The page's block must be erased, as on a single
+// device.
+func (a *Array) ProgramAt(page int64, token uint64, now sim.Time) (sim.Time, error) {
+	chip, addr, err := a.locate(page)
+	if err != nil {
+		return 0, err
+	}
+	lat, err := a.chips[chip].Program(addr, token)
+	if err != nil {
+		return 0, err
+	}
+	return a.schedule(chip, now, lat), nil
+}
+
+// EraseAt submits a block erase (identified by any page in it) at time
+// now and returns its completion time.
+func (a *Array) EraseAt(page int64, now sim.Time) (sim.Time, error) {
+	chip, addr, err := a.locate(page)
+	if err != nil {
+		return 0, err
+	}
+	lat, err := a.chips[chip].Erase(addr.Block)
+	if err != nil {
+		return 0, err
+	}
+	return a.schedule(chip, now, lat), nil
+}
+
+// Makespan returns the latest completion time across channels — the
+// wall-clock finish of everything submitted so far.
+func (a *Array) Makespan() sim.Time {
+	var m sim.Time
+	for _, t := range a.avail {
+		if t.After(m) {
+			m = t
+		}
+	}
+	return m
+}
+
+// Reset clears the channel timelines (device state is untouched).
+func (a *Array) Reset() {
+	for i := range a.avail {
+		a.avail[i] = 0
+	}
+}

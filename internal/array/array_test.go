@@ -1,0 +1,154 @@
+package array
+
+import (
+	"testing"
+
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/wear"
+)
+
+func testArray(chips int) *Array {
+	return New(Config{Chips: chips, BlocksPerChip: 4, Mode: wear.SLC, Seed: 1})
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, cfg := range []Config{{Chips: 0, BlocksPerChip: 1}, {Chips: 1, BlocksPerChip: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad config did not panic")
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestStripingSpreadsConsecutivePages(t *testing.T) {
+	a := testArray(4)
+	seen := map[int]bool{}
+	for p := int64(0); p < 4; p++ {
+		chip, _, err := a.locate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[chip] {
+			t.Fatalf("consecutive pages share chip %d", chip)
+		}
+		seen[chip] = true
+	}
+	if _, _, err := a.locate(a.Pages()); err == nil {
+		t.Fatal("out-of-range page accepted")
+	}
+	if _, _, err := a.locate(-1); err == nil {
+		t.Fatal("negative page accepted")
+	}
+}
+
+func TestPagesAccounting(t *testing.T) {
+	a := testArray(2)
+	if a.Pages() != 2*4*nand.SlotsPerBlock {
+		t.Fatalf("Pages = %d", a.Pages())
+	}
+	m := New(Config{Chips: 2, BlocksPerChip: 4, Mode: wear.MLC, Seed: 1})
+	if m.Pages() != 2*a.Pages() {
+		t.Fatal("MLC array should address twice the pages")
+	}
+	if a.Chips() != 2 {
+		t.Fatal("Chips wrong")
+	}
+}
+
+func TestParallelReadsOverlap(t *testing.T) {
+	a := testArray(4)
+	// Program one page per chip, then read all four at t=0: with four
+	// channels they all finish after one read latency, not four.
+	for p := int64(0); p < 4; p++ {
+		if _, err := a.ProgramAt(p, uint64(p), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Reset()
+	var last sim.Time
+	for p := int64(0); p < 4; p++ {
+		_, done, err := a.ReadAt(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done.After(last) {
+			last = done
+		}
+	}
+	if last != sim.Time(25*sim.Microsecond) {
+		t.Fatalf("4 cross-chip reads finished at %v, want one read latency", last)
+	}
+}
+
+func TestSameChipSerializes(t *testing.T) {
+	a := testArray(4)
+	// Pages 0 and 4 share chip 0.
+	a.ProgramAt(0, 1, 0)
+	a.ProgramAt(4, 2, 0)
+	a.Reset()
+	_, d1, _ := a.ReadAt(0, 0)
+	_, d2, _ := a.ReadAt(4, 0)
+	if d2 != d1.Add(25*sim.Microsecond) {
+		t.Fatalf("same-chip reads did not serialize: %v then %v", d1, d2)
+	}
+}
+
+func TestMakespanScalesWithChannels(t *testing.T) {
+	makespan := func(chips int) sim.Time {
+		a := New(Config{Chips: chips, BlocksPerChip: 8, Mode: wear.SLC, Seed: 2})
+		n := int64(256)
+		for p := int64(0); p < n; p++ {
+			if _, err := a.ProgramAt(p, uint64(p), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.Reset()
+		for p := int64(0); p < n; p++ {
+			if _, _, err := a.ReadAt(p, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return a.Makespan()
+	}
+	m1 := makespan(1)
+	m4 := makespan(4)
+	m8 := makespan(8)
+	if m4 != m1/4 || m8 != m1/8 {
+		t.Fatalf("makespan does not scale: 1ch=%v 4ch=%v 8ch=%v", m1, m4, m8)
+	}
+}
+
+func TestEraseAtAffectsWholeBlock(t *testing.T) {
+	a := testArray(1)
+	a.ProgramAt(0, 7, 0)
+	if _, err := a.EraseAt(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.ReadAt(0, 0); err == nil {
+		t.Fatal("read after erase succeeded")
+	}
+	// Page can be programmed again.
+	if _, err := a.ProgramAt(0, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmitLaterThanAvailability(t *testing.T) {
+	a := testArray(1)
+	a.ProgramAt(0, 1, 0)
+	a.Reset()
+	// Submit at t=1ms, long after the chip is free: completion is
+	// submission + latency, not earlier.
+	_, done, err := a.ReadAt(0, sim.Time(sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != sim.Time(sim.Millisecond+25*sim.Microsecond) {
+		t.Fatalf("completion %v", done)
+	}
+}

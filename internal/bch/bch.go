@@ -1,0 +1,313 @@
+// Package bch implements binary BCH (Bose–Ray-Chaudhuri–Hocquenghem)
+// block codes: systematic encoding through an LFSR-equivalent remainder
+// computation, and decoding through syndrome computation, the
+// Berlekamp–Massey algorithm and Chien search — the same structure as
+// the hardware engine in section 4.1.1 of the paper.
+//
+// Codes are shortened: a message of k data bits plus p parity bits is
+// embedded in the natural code of length 2^m - 1 with the leading
+// positions fixed at zero. A 2KB Flash page (16384 data bits) uses
+// GF(2^15), where each additional correctable error costs 15 parity
+// bits — matching the paper's "append approximately log(n) bits per
+// correctable error".
+package bch
+
+import (
+	"errors"
+	"fmt"
+
+	"flashdc/internal/gf"
+)
+
+// ErrUncorrectable is returned by Decode when the received word holds
+// more errors than the code can correct and the decoder detected it.
+// Note that, as the paper observes (section 4.1.2), a BCH decoder
+// cannot always detect overload — some patterns mis-correct silently,
+// which is why the Flash controller layers a CRC on top.
+var ErrUncorrectable = errors.New("bch: uncorrectable error pattern")
+
+// Code is a t-error-correcting binary BCH code over GF(2^m), shortened
+// to k data bits. A Code is immutable and safe for concurrent use.
+type Code struct {
+	field *gf.Field
+	t     int // designed correction capability
+	k     int // data bits
+	p     int // parity bits = deg(generator)
+	n     int // shortened code length = k + p
+
+	gen []uint64 // generator polynomial bits (degree p)
+}
+
+// New constructs a t-error-correcting code for dataBits of payload over
+// GF(2^m). It returns an error when the shortened length would exceed
+// the natural code length 2^m - 1 or the parameters are non-positive.
+func New(m, t, dataBits int) (*Code, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("bch: t must be >= 1, got %d", t)
+	}
+	if dataBits < 1 {
+		return nil, fmt.Errorf("bch: dataBits must be >= 1, got %d", dataBits)
+	}
+	field := gf.NewField(m)
+	// Generator = lcm of minimal polynomials of alpha^1 .. alpha^2t.
+	// Even powers share cosets with odd ones, so iterate odd i only.
+	gen := gf.Poly2FromUint32(1)
+	seen := map[int]bool{}
+	for i := 1; i <= 2*t; i += 2 {
+		if seen[i] {
+			continue // alpha^i shares a coset (and minimal polynomial)
+			// with an earlier root, already folded into gen.
+		}
+		c := i
+		for {
+			seen[c] = true
+			c = (2 * c) % field.N()
+			if c == i {
+				break
+			}
+		}
+		gen = gen.Mul(field.MinPolynomial(i))
+	}
+	p := gen.Degree()
+	if dataBits+p > field.N() {
+		return nil, fmt.Errorf("bch: shortened length %d exceeds natural length %d (m=%d t=%d)",
+			dataBits+p, field.N(), m, t)
+	}
+	c := &Code{field: field, t: t, k: dataBits, p: p, n: dataBits + p}
+	c.gen = make([]uint64, p/64+1)
+	for i := 0; i <= p; i++ {
+		if gen.Bit(i) == 1 {
+			c.gen[i/64] |= 1 << (i % 64)
+		}
+	}
+	return c, nil
+}
+
+// T returns the number of errors the code corrects.
+func (c *Code) T() int { return c.t }
+
+// DataBits returns k, the payload length in bits.
+func (c *Code) DataBits() int { return c.k }
+
+// ParityBits returns p, the number of check bits (deg of the generator).
+func (c *Code) ParityBits() int { return c.p }
+
+// ParityBytes returns the parity size rounded up to whole bytes, the
+// spare-area footprint in a Flash page.
+func (c *Code) ParityBytes() int { return (c.p + 7) / 8 }
+
+// Length returns the shortened code length n = k + p in bits.
+func (c *Code) Length() int { return c.n }
+
+// dataBit reads message bit i (LSB-first within each byte).
+func dataBit(data []byte, i int) int {
+	return int(data[i>>3]>>(i&7)) & 1
+}
+
+func flipBit(buf []byte, i int) {
+	buf[i>>3] ^= 1 << (i & 7)
+}
+
+// Encode computes the parity for data, whose length must be exactly
+// ceil(k/8) bytes (trailing bits of the last byte beyond k are ignored).
+// The returned slice has ParityBytes() bytes, parity bit i stored
+// LSB-first.
+//
+// The computation is the software equivalent of the hardware LFSR: the
+// message polynomial times x^p reduced modulo the generator.
+func (c *Code) Encode(data []byte) []byte {
+	if len(data) != (c.k+7)/8 {
+		panic(fmt.Sprintf("bch: Encode data length %d bytes, want %d", len(data), (c.k+7)/8))
+	}
+	// rem is a p-bit shift register.
+	rem := make([]uint64, len(c.gen))
+	topWord := (c.p - 1) / 64
+	topBit := uint((c.p - 1) % 64)
+	// Feed message bits highest degree first (bit k-1 down to 0).
+	for i := c.k - 1; i >= 0; i-- {
+		feedback := dataBit(data, i) ^ int(rem[topWord]>>topBit)&1
+		// rem <<= 1 (within p bits)
+		var carry uint64
+		for w := 0; w <= topWord; w++ {
+			next := rem[w] >> 63
+			rem[w] = rem[w]<<1 | carry
+			carry = next
+		}
+		if feedback != 0 {
+			for w := range rem {
+				rem[w] ^= c.gen[w]
+			}
+		}
+		// Mask bits above p-1 plus the generator's top bit which the
+		// XOR just cleared implicitly (gen bit p aligns with shifted
+		// out feedback). Clear any residue above p-1:
+		rem[topWord] &= (uint64(1) << (topBit + 1)) - 1
+		for w := topWord + 1; w < len(rem); w++ {
+			rem[w] = 0
+		}
+	}
+	out := make([]byte, c.ParityBytes())
+	for i := 0; i < c.p; i++ {
+		if rem[i/64]>>(i%64)&1 == 1 {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// Syndromes computes the 2t syndromes of the received word (data ++
+// parity). Index j of the result holds S_{j+1} = r(alpha^{j+1}). A
+// zero slice means the word is a valid codeword.
+func (c *Code) Syndromes(data, parity []byte) []uint16 {
+	s := make([]uint16, 2*c.t)
+	f := c.field
+	n := f.N()
+	addPosition := func(pos int) {
+		// Contribution of codeword coefficient x^pos: alpha^(pos*j).
+		for j := range s {
+			s[j] ^= f.Exp(pos * (j + 1) % n)
+		}
+	}
+	// Parity occupies degrees [0, p), data occupies [p, p+k).
+	for i := 0; i < c.p; i++ {
+		if dataBit(parity, i) == 1 {
+			addPosition(i)
+		}
+	}
+	for i := 0; i < c.k; i++ {
+		if dataBit(data, i) == 1 {
+			addPosition(c.p + i)
+		}
+	}
+	return s
+}
+
+// DecodeResult carries decoder diagnostics alongside the correction.
+type DecodeResult struct {
+	Corrected int  // number of bit errors fixed (0 if word was clean)
+	Detected  bool // syndromes were non-zero
+}
+
+// Decode checks and corrects data+parity in place. It returns the
+// number of corrected bit errors, or ErrUncorrectable when the decoder
+// can prove the pattern exceeds t errors. Both slices must have the
+// exact sizes produced by Encode.
+func (c *Code) Decode(data, parity []byte) (DecodeResult, error) {
+	if len(data) != (c.k+7)/8 {
+		panic(fmt.Sprintf("bch: Decode data length %d bytes, want %d", len(data), (c.k+7)/8))
+	}
+	if len(parity) != c.ParityBytes() {
+		panic(fmt.Sprintf("bch: Decode parity length %d bytes, want %d", len(parity), c.ParityBytes()))
+	}
+	synd := c.Syndromes(data, parity)
+	allZero := true
+	for _, v := range synd {
+		if v != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return DecodeResult{}, nil
+	}
+
+	sigma, ok := c.berlekampMassey(synd)
+	if !ok {
+		return DecodeResult{Detected: true}, ErrUncorrectable
+	}
+	positions, ok := c.chienSearch(sigma)
+	if !ok {
+		return DecodeResult{Detected: true}, ErrUncorrectable
+	}
+	for _, pos := range positions {
+		if pos < c.p {
+			flipBit(parity, pos)
+		} else {
+			flipBit(data, pos-c.p)
+		}
+	}
+	return DecodeResult{Corrected: len(positions), Detected: true}, nil
+}
+
+// berlekampMassey finds the error locator polynomial sigma from the
+// syndromes. It returns ok=false when the resulting locator degree
+// exceeds t or is inconsistent, both signs of decoder overload.
+func (c *Code) berlekampMassey(s []uint16) (gf.Poly, bool) {
+	f := c.field
+	cur := gf.Poly{1} // C(x)
+	prev := gf.Poly{1}
+	l := 0
+	mGap := 1
+	b := uint16(1)
+	for i := 0; i < len(s); i++ {
+		// discrepancy d = S_i + sum_{j=1..l} C_j S_{i-j}
+		d := s[i]
+		for j := 1; j <= l && j < len(cur); j++ {
+			if cur[j] != 0 && i-j >= 0 {
+				d ^= f.Mul(cur[j], s[i-j])
+			}
+		}
+		if d == 0 {
+			mGap++
+			continue
+		}
+		coef := f.Div(d, b)
+		// adjustment = coef * x^mGap * prev
+		adj := make(gf.Poly, mGap+len(prev))
+		for j, v := range prev {
+			adj[mGap+j] = f.Mul(coef, v)
+		}
+		next := gf.AddPoly(cur, adj)
+		if 2*l <= i {
+			prev = cur
+			l = i + 1 - l
+			b = d
+			mGap = 1
+		} else {
+			mGap++
+		}
+		cur = next
+	}
+	cur = cur.Trim()
+	if cur.Deg() != l || l > c.t {
+		return nil, false
+	}
+	return cur, true
+}
+
+// chienSearch locates the error positions: every i in [0, n) with
+// sigma(alpha^{-i}) == 0 is an error at codeword coefficient x^i. It
+// returns ok=false when the number of roots inside the shortened word
+// does not match the locator degree (some roots fell in the shortened
+// prefix or in no position at all), indicating decoder overload.
+func (c *Code) chienSearch(sigma gf.Poly) ([]int, bool) {
+	f := c.field
+	deg := sigma.Deg()
+	// terms[d] tracks sigma_d * alpha^{-i*d}; start at i=0.
+	terms := make([]uint16, deg+1)
+	copy(terms, sigma[:deg+1])
+	step := make([]uint16, deg+1)
+	for d := 0; d <= deg; d++ {
+		step[d] = f.Exp(-d)
+	}
+	var positions []int
+	for i := 0; i < c.n; i++ {
+		var sum uint16
+		for d := 0; d <= deg; d++ {
+			sum ^= terms[d]
+		}
+		if sum == 0 {
+			positions = append(positions, i)
+			if len(positions) > deg {
+				return nil, false
+			}
+		}
+		for d := 1; d <= deg; d++ {
+			terms[d] = f.Mul(terms[d], step[d])
+		}
+	}
+	if len(positions) != deg {
+		return nil, false
+	}
+	return positions, true
+}

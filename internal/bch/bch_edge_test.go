@@ -1,0 +1,170 @@
+package bch
+
+import (
+	"bytes"
+	"testing"
+
+	"flashdc/internal/sim"
+)
+
+func TestAllZeroMessageIsACodeword(t *testing.T) {
+	c := mustCode(t, 10, 3, 512)
+	data := make([]byte, 64)
+	parity := c.Encode(data)
+	for _, b := range parity {
+		if b != 0 {
+			t.Fatal("zero message produced non-zero parity")
+		}
+	}
+	res, err := c.Decode(data, parity)
+	if err != nil || res.Detected {
+		t.Fatalf("zero codeword decode: %+v %v", res, err)
+	}
+}
+
+func TestAllOnesMessage(t *testing.T) {
+	c := mustCode(t, 10, 4, 512)
+	data := bytes.Repeat([]byte{0xFF}, 64)
+	parity := c.Encode(data)
+	orig := bytes.Clone(data)
+	corruptBits(sim.NewRNG(5), data, parity, 4, 512, c.ParityBits())
+	res, err := c.Decode(data, parity)
+	if err != nil || res.Corrected != 4 || !bytes.Equal(data, orig) {
+		t.Fatalf("all-ones decode: %+v %v", res, err)
+	}
+}
+
+func TestErrorsOnlyInParity(t *testing.T) {
+	c := mustCode(t, 10, 3, 512)
+	rng := sim.NewRNG(9)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	parity := c.Encode(data)
+	orig := bytes.Clone(data)
+	origParity := bytes.Clone(parity)
+	// Flip 3 bits strictly inside the parity field.
+	for _, pos := range []int{0, 7, c.ParityBits() - 1} {
+		parity[pos/8] ^= 1 << (pos % 8)
+	}
+	res, err := c.Decode(data, parity)
+	if err != nil || res.Corrected != 3 {
+		t.Fatalf("parity-only errors: %+v %v", res, err)
+	}
+	if !bytes.Equal(data, orig) || !bytes.Equal(parity, origParity) {
+		t.Fatal("codeword not restored")
+	}
+}
+
+func TestBurstErrors(t *testing.T) {
+	// t adjacent bit flips (a burst) are still just t errors for BCH.
+	c := mustCode(t, 13, 6, 4096)
+	rng := sim.NewRNG(11)
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	parity := c.Encode(data)
+	orig := bytes.Clone(data)
+	start := 1000
+	for i := 0; i < 6; i++ {
+		pos := start + i
+		data[pos/8] ^= 1 << (pos % 8)
+	}
+	res, err := c.Decode(data, parity)
+	if err != nil || res.Corrected != 6 || !bytes.Equal(data, orig) {
+		t.Fatalf("burst decode: %+v %v", res, err)
+	}
+}
+
+func TestSingleBitMessage(t *testing.T) {
+	// Degenerate payloads must still round-trip.
+	c := mustCode(t, 8, 2, 1)
+	data := []byte{0x01}
+	parity := c.Encode(data)
+	data[0] ^= 0x01 // flip the single data bit
+	res, err := c.Decode(data, parity)
+	if err != nil || res.Corrected != 1 || data[0] != 0x01 {
+		t.Fatalf("single-bit decode: %+v %v data=%x", res, err, data[0])
+	}
+}
+
+func TestSameDataDifferentStrengths(t *testing.T) {
+	// Stronger codes over the same payload: parity grows, and each
+	// corrects up to its own limit.
+	data := make([]byte, 64)
+	rng := sim.NewRNG(13)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	prevParity := 0
+	for tErr := 1; tErr <= 6; tErr++ {
+		c := mustCode(t, 10, tErr, 512)
+		parity := c.Encode(data)
+		if len(parity) < prevParity {
+			t.Fatalf("parity shrank at t=%d", tErr)
+		}
+		prevParity = len(parity)
+		d := bytes.Clone(data)
+		corruptBits(rng, d, parity, tErr, 512, c.ParityBits())
+		if _, err := c.Decode(d, parity); err != nil {
+			t.Fatalf("t=%d failed on %d errors: %v", tErr, tErr, err)
+		}
+		if !bytes.Equal(d, data) {
+			t.Fatalf("t=%d did not restore", tErr)
+		}
+	}
+}
+
+func TestDecodeIsIdempotent(t *testing.T) {
+	c := mustCode(t, 10, 3, 512)
+	rng := sim.NewRNG(17)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	parity := c.Encode(data)
+	corruptBits(rng, data, parity, 3, 512, c.ParityBits())
+	if _, err := c.Decode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	// A second decode sees a clean codeword.
+	res, err := c.Decode(data, parity)
+	if err != nil || res.Corrected != 0 || res.Detected {
+		t.Fatalf("second decode not clean: %+v %v", res, err)
+	}
+}
+
+// TestAllFieldDegrees round-trips a codec in every supported field,
+// transitively validating each hard-coded primitive polynomial (a bad
+// polynomial would break root location immediately).
+func TestAllFieldDegrees(t *testing.T) {
+	rng := sim.NewRNG(23)
+	for m := 5; m <= 15; m++ { // m=4 cannot fit t=2 parity plus a byte of data
+		// Keep the payload comfortably inside the natural length.
+		dataBits := (1<<m - 1) / 2
+		if dataBits > 2048 {
+			dataBits = 2048
+		}
+		dataBits &^= 7 // whole bytes
+		if dataBits == 0 {
+			dataBits = 8
+		}
+		c, err := New(m, 2, dataBits)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		data := make([]byte, (dataBits+7)/8)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		parity := c.Encode(data)
+		orig := bytes.Clone(data)
+		corruptBits(rng, data, parity, 2, dataBits, c.ParityBits())
+		res, err := c.Decode(data, parity)
+		if err != nil || res.Corrected != 2 || !bytes.Equal(data, orig) {
+			t.Fatalf("m=%d round trip failed: %+v %v", m, res, err)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package bch
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"flashdc/internal/sim"
+)
+
+func mustCode(t *testing.T, m, tErr, dataBits int) *Code {
+	t.Helper()
+	c, err := New(m, tErr, dataBits)
+	if err != nil {
+		t.Fatalf("New(%d,%d,%d): %v", m, tErr, dataBits, err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(8, 0, 64); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+	if _, err := New(8, 1, 0); err == nil {
+		t.Fatal("dataBits=0 accepted")
+	}
+	// 2^8-1 = 255; 250 data bits + parity cannot fit.
+	if _, err := New(8, 2, 250); err == nil {
+		t.Fatal("over-long shortened code accepted")
+	}
+}
+
+func TestParityBitsGrowLinearly(t *testing.T) {
+	// Section 4.1.1: parity bits grow ~linearly, about m per error.
+	prev := 0
+	for tErr := 1; tErr <= 8; tErr++ {
+		c := mustCode(t, 13, tErr, 4096)
+		if c.ParityBits() <= prev {
+			t.Fatalf("parity bits did not grow at t=%d: %d", tErr, c.ParityBits())
+		}
+		if c.ParityBits() > 13*tErr {
+			t.Fatalf("parity bits %d exceed m*t=%d at t=%d", c.ParityBits(), 13*tErr, tErr)
+		}
+		prev = c.ParityBits()
+	}
+}
+
+func TestPaperSpareAreaBudget(t *testing.T) {
+	// Section 4.1: up to t=12 on a 2KB page needs at most 23 bytes of
+	// check bits, fitting the 60 spare bytes left after CRC32.
+	c := mustCode(t, 15, 12, 2048*8)
+	if c.ParityBytes() > 23 {
+		t.Fatalf("t=12 page code uses %d parity bytes, paper says <= 23", c.ParityBytes())
+	}
+}
+
+func TestEncodeCleanDecode(t *testing.T) {
+	c := mustCode(t, 10, 3, 512)
+	rng := sim.NewRNG(1)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	parity := c.Encode(data)
+	orig := bytes.Clone(data)
+	res, err := c.Decode(data, parity)
+	if err != nil {
+		t.Fatalf("clean decode failed: %v", err)
+	}
+	if res.Corrected != 0 || res.Detected {
+		t.Fatalf("clean word reported corrections: %+v", res)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("clean decode mutated data")
+	}
+}
+
+func corruptBits(rng *sim.RNG, data, parity []byte, nBits, dataBits, parityBits int) map[int]bool {
+	flipped := map[int]bool{}
+	total := dataBits + parityBits
+	for len(flipped) < nBits {
+		pos := rng.Intn(total)
+		if flipped[pos] {
+			continue
+		}
+		flipped[pos] = true
+		if pos < dataBits {
+			data[pos/8] ^= 1 << (pos % 8)
+		} else {
+			p := pos - dataBits
+			parity[p/8] ^= 1 << (p % 8)
+		}
+	}
+	return flipped
+}
+
+func TestCorrectUpToT(t *testing.T) {
+	for _, tc := range []struct{ m, t, dataBits int }{
+		{8, 1, 128},
+		{10, 2, 512},
+		{10, 4, 512},
+		{13, 6, 4096},
+		{13, 8, 2048},
+	} {
+		c := mustCode(t, tc.m, tc.t, tc.dataBits)
+		rng := sim.NewRNG(uint64(tc.m*100 + tc.t))
+		for trial := 0; trial < 20; trial++ {
+			data := make([]byte, (tc.dataBits+7)/8)
+			for i := range data {
+				data[i] = byte(rng.Uint64())
+			}
+			parity := c.Encode(data)
+			origData := bytes.Clone(data)
+			origParity := bytes.Clone(parity)
+			nErr := 1 + rng.Intn(tc.t)
+			corruptBits(rng, data, parity, nErr, tc.dataBits, c.ParityBits())
+			res, err := c.Decode(data, parity)
+			if err != nil {
+				t.Fatalf("m=%d t=%d trial=%d: decode failed with %d errors: %v",
+					tc.m, tc.t, trial, nErr, err)
+			}
+			if res.Corrected != nErr {
+				t.Fatalf("m=%d t=%d: corrected %d, injected %d", tc.m, tc.t, res.Corrected, nErr)
+			}
+			if !bytes.Equal(data, origData) || !bytes.Equal(parity, origParity) {
+				t.Fatalf("m=%d t=%d trial=%d: decode did not restore codeword", tc.m, tc.t, trial)
+			}
+		}
+	}
+}
+
+func TestExactlyTErrors(t *testing.T) {
+	c := mustCode(t, 10, 5, 600)
+	rng := sim.NewRNG(99)
+	data := make([]byte, 75)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	parity := c.Encode(data)
+	orig := bytes.Clone(data)
+	corruptBits(rng, data, parity, 5, 600, c.ParityBits())
+	res, err := c.Decode(data, parity)
+	if err != nil || res.Corrected != 5 {
+		t.Fatalf("t errors not corrected: res=%+v err=%v", res, err)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("data not restored")
+	}
+}
+
+func TestDetectOverload(t *testing.T) {
+	// With substantially more than t errors, the decoder must either
+	// return ErrUncorrectable or silently mis-correct; it must never
+	// crash. Count that detection fires most of the time.
+	c := mustCode(t, 10, 2, 400)
+	rng := sim.NewRNG(7)
+	detected := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		data := make([]byte, 50)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		parity := c.Encode(data)
+		corruptBits(rng, data, parity, 7, 400, c.ParityBits())
+		_, err := c.Decode(data, parity)
+		if err != nil {
+			detected++
+		}
+	}
+	if detected < trials/2 {
+		t.Fatalf("decoder detected only %d/%d overloads", detected, trials)
+	}
+}
+
+func TestFullPageCode(t *testing.T) {
+	// The controller's flagship configuration: 2KB page, GF(2^15).
+	c := mustCode(t, 15, 4, 2048*8)
+	rng := sim.NewRNG(2718)
+	data := make([]byte, 2048)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	parity := c.Encode(data)
+	orig := bytes.Clone(data)
+	corruptBits(rng, data, parity, 4, 2048*8, c.ParityBits())
+	res, err := c.Decode(data, parity)
+	if err != nil || res.Corrected != 4 {
+		t.Fatalf("page decode: res=%+v err=%v", res, err)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("page not restored")
+	}
+}
+
+func TestSyndromesZeroForCodeword(t *testing.T) {
+	c := mustCode(t, 8, 2, 100)
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		data := make([]byte, 13)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		// Mask bits beyond dataBits in the last byte: Encode ignores
+		// them but Syndromes would read them as codeword bits.
+		data[12] &= 0x0F
+		parity := c.Encode(data)
+		for _, s := range c.Syndromes(data, parity) {
+			if s != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRoundTripProperty(t *testing.T) {
+	c := mustCode(t, 10, 3, 256)
+	f := func(seed uint64, nErrRaw uint8) bool {
+		rng := sim.NewRNG(seed)
+		nErr := int(nErrRaw % 4) // 0..3 = up to t
+		data := make([]byte, 32)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		parity := c.Encode(data)
+		orig := bytes.Clone(data)
+		if nErr > 0 {
+			corruptBits(rng, data, parity, nErr, 256, c.ParityBits())
+		}
+		res, err := c.Decode(data, parity)
+		return err == nil && res.Corrected == nErr && bytes.Equal(data, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeLengthMismatchPanics(t *testing.T) {
+	c := mustCode(t, 8, 1, 64)
+	for _, fn := range []func(){
+		func() { c.Encode(make([]byte, 7)) },
+		func() { c.Decode(make([]byte, 7), make([]byte, c.ParityBytes())) },
+		func() { c.Decode(make([]byte, 8), make([]byte, c.ParityBytes()+1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("length mismatch did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := mustCode(t, 10, 2, 500)
+	if c.T() != 2 || c.DataBits() != 500 {
+		t.Fatal("T/DataBits wrong")
+	}
+	if c.Length() != c.DataBits()+c.ParityBits() {
+		t.Fatal("Length inconsistent")
+	}
+	if c.ParityBytes() != (c.ParityBits()+7)/8 {
+		t.Fatal("ParityBytes inconsistent")
+	}
+}
+
+func BenchmarkEncodePage(b *testing.B) {
+	c, err := New(15, 8, 2048*8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 2048)
+	rng := sim.NewRNG(1)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(data)
+	}
+}
+
+func BenchmarkDecodePageWithErrors(b *testing.B) {
+	c, err := New(15, 8, 2048*8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	data := make([]byte, 2048)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	parity := c.Encode(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := bytes.Clone(data)
+		p := bytes.Clone(parity)
+		corruptBits(rng, d, p, 8, 2048*8, c.ParityBits())
+		b.StartTimer()
+		if _, err := c.Decode(d, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

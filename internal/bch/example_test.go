@@ -1,0 +1,42 @@
+package bch_test
+
+import (
+	"fmt"
+
+	"flashdc/internal/bch"
+)
+
+// Example encodes a message, corrupts it within the design strength,
+// and decodes it back.
+func Example() {
+	// A 2-error-correcting code over GF(2^8) for 64 data bits.
+	code, err := bch.New(8, 2, 64)
+	if err != nil {
+		panic(err)
+	}
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x11, 0x22, 0x33}
+	parity := code.Encode(data)
+
+	data[0] ^= 0x01 // flip bit 0
+	data[5] ^= 0x80 // flip bit 47
+
+	res, err := code.Decode(data, parity)
+	fmt.Println("corrected:", res.Corrected, "err:", err)
+	fmt.Printf("restored: %x\n", data[:4])
+	// Output:
+	// corrected: 2 err: <nil>
+	// restored: deadbeef
+}
+
+// ExampleCode_ParityBits shows the linear parity growth the paper's
+// spare-area budget relies on.
+func ExampleCode_ParityBits() {
+	for _, t := range []int{1, 4, 8} {
+		code, _ := bch.New(13, t, 4096)
+		fmt.Printf("t=%d: %d parity bits\n", t, code.ParityBits())
+	}
+	// Output:
+	// t=1: 13 parity bits
+	// t=4: 52 parity bits
+	// t=8: 104 parity bits
+}

@@ -1,0 +1,51 @@
+package bch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary corruption at the decoder: it must
+// always terminate with a result or ErrUncorrectable — never panic —
+// and a successful decode of a word derived from a real codeword must
+// restore that codeword when the corruption is within range.
+func FuzzDecode(f *testing.F) {
+	code, err := New(10, 3, 256)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{0, 1, 2, 3}, uint16(0))
+	f.Add(bytes.Repeat([]byte{0xFF}, 8), uint16(12345))
+	f.Fuzz(func(t *testing.T, seed []byte, corrupt uint16) {
+		data := make([]byte, 32)
+		copy(data, seed)
+		parity := code.Encode(data)
+		orig := bytes.Clone(data)
+
+		// Apply arbitrary corruption derived from the fuzz input:
+		// between 0 and 15 bit flips at pseudo-random positions.
+		n := int(corrupt >> 12)
+		pos := int(corrupt)
+		total := 256 + code.ParityBits()
+		for i := 0; i < n; i++ {
+			p := (pos*31 + i*97) % total
+			if p < 256 {
+				data[p/8] ^= 1 << (p % 8)
+			} else {
+				q := p - 256
+				parity[q/8] ^= 1 << (q % 8)
+			}
+		}
+		res, err := code.Decode(data, parity)
+		if err != nil {
+			return // detected overload is a valid outcome
+		}
+		if n <= code.T() {
+			// Within design strength: must have restored the data.
+			if !bytes.Equal(data, orig) {
+				t.Fatalf("decode claimed success but data differs (n=%d corrected=%d)",
+					n, res.Corrected)
+			}
+		}
+	})
+}

@@ -1,0 +1,389 @@
+// Package core implements the paper's contribution: a software-managed
+// NAND Flash secondary disk cache with hardware controller assistance.
+// It combines
+//
+//   - the split read/write disk cache of section 3.5 (90% read region,
+//     10% write region, with a unified baseline for comparison),
+//   - the wear-level aware replacement policy of section 3.6,
+//   - background garbage collection following section 5.1, and
+//   - the programmable Flash memory controller of sections 4 and 5.2:
+//     per-page variable-strength ECC and SLC/MLC density control driven
+//     by the latency cost heuristics (delta-t_cs versus delta-t_d), plus
+//     hot-page MLC-to-SLC promotion via the saturating access counter.
+//
+// The cache manages disk pages (2KB, matching the Flash page) and is
+// driven by a single goroutine, trace-style; all state lives in the
+// paper's four DRAM tables (internal/tables) plus per-block metadata.
+package core
+
+import (
+	"fmt"
+
+	"flashdc/internal/ecc"
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/tables"
+	"flashdc/internal/wear"
+)
+
+// PageSize is the cache management granularity in bytes.
+const PageSize = nand.PageSize
+
+// Backing is the device the cache writes dirty data back to (the hard
+// disk in the paper's hierarchy). Implementations return the latency
+// of one 2KB page write.
+type Backing interface {
+	WritePage(lba int64) sim.Duration
+}
+
+// discard is the fallback backing that only counts dropped pages; used
+// when the cache is simulated without a disk below it.
+type discard struct{ pages int64 }
+
+func (d *discard) WritePage(int64) sim.Duration { d.pages++; return 0 }
+
+// Config parameterises the cache. The zero value is not valid; use
+// DefaultConfig and override.
+type Config struct {
+	// FlashBytes is the device capacity with every cell in
+	// InitialMode. The block count is derived from it.
+	FlashBytes int64
+	// Split enables the separate read/write regions of section 3.5;
+	// false simulates the unified baseline of Figure 4.
+	Split bool
+	// ReadFraction is the share of blocks given to the read region
+	// when Split is set (paper: 0.9).
+	ReadFraction float64
+	// Programmable enables the section 4 controller (variable ECC and
+	// density control). When false the cache runs the fixed "BCH 1
+	// error correcting controller" baseline of Figure 12.
+	Programmable bool
+	// BaseStrength is the ECC strength pages start at (paper
+	// baseline: 1).
+	BaseStrength ecc.Strength
+	// InitialMode is the starting cell density (paper: MLC).
+	InitialMode wear.Mode
+	// HotSaturation is the saturating access-counter ceiling that
+	// triggers MLC-to-SLC promotion (section 5.2.2).
+	HotSaturation uint32
+	// WearThreshold is the degree-of-wear gap beyond which the
+	// replacement policy evicts the newest block instead of the LRU
+	// victim (section 3.6).
+	WearThreshold float64
+	// K1, K2 weight the FBST degree-of-wear cost function.
+	K1, K2 float64
+	// Watermark is the valid fraction below which read-region
+	// background GC starts (paper: 0.90).
+	Watermark float64
+	// SigmaSpatial is the page-to-page wear spread (Figure 6(b)).
+	SigmaSpatial float64
+	// WearAcceleration compresses simulated wear for lifetime
+	// experiments; 0 means 1.
+	WearAcceleration float64
+	// MissPenalty seeds the t_miss estimate for the reconfiguration
+	// heuristics before real misses are observed.
+	MissPenalty sim.Duration
+	// ForcedStrength, when non-zero, pins every page to one ECC
+	// strength and disables the programmable controller — the Figure
+	// 10 study ("all Flash blocks have the same ECC strength
+	// applied"). Values beyond the hardware limit of 12 are allowed
+	// to capture the performance trend, as the paper does.
+	ForcedStrength ecc.Strength
+	// AssumeWorn charges the full BCH decode pipeline on every hit,
+	// modelling an aged device where errors are always present
+	// (Figure 10's premise).
+	AssumeWorn bool
+	// Timing overrides device latencies; zero means Table 3.
+	Timing nand.Timing
+	// Seed drives wear sampling.
+	Seed uint64
+	// Backing receives dirty write-backs; nil discards (counted).
+	Backing Backing
+}
+
+// DefaultConfig returns the paper's configuration for a cache of the
+// given Flash capacity.
+func DefaultConfig(flashBytes int64) Config {
+	return Config{
+		FlashBytes:    flashBytes,
+		Split:         true,
+		ReadFraction:  0.9,
+		Programmable:  true,
+		BaseStrength:  1,
+		InitialMode:   wear.MLC,
+		HotSaturation: 64,
+		WearThreshold: 256,
+		K1:            2,
+		K2:            20,
+		Watermark:     0.90,
+		SigmaSpatial:  0.05,
+		MissPenalty:   4200 * sim.Microsecond,
+	}
+}
+
+// Region indices.
+const (
+	readRegion  = 0
+	writeRegion = 1
+)
+
+// Stats aggregates cache-level activity. Device-level operation counts
+// live in nand.Stats (Cache.DeviceStats).
+type Stats struct {
+	// Host operations.
+	Reads, Writes int64
+	Hits, Misses  int64
+	// Fills counts read-miss insertions into the read region.
+	Fills int64
+	// GCRuns counts garbage collections; GCRelocations the valid
+	// pages they moved; GCTime their total (background) duration.
+	GCRuns, GCRelocations int64
+	GCTime                sim.Duration
+	// Evictions counts block evictions (capacity); FlushedPages the
+	// dirty pages written back to the backing store by them.
+	Evictions    int64
+	FlushedPages int64
+	// WearSwaps counts wear-level migrations where the newest block
+	// was evicted in place of the LRU victim (section 3.6).
+	WearSwaps int64
+	// Promotions counts hot-page MLC-to-SLC migrations (section
+	// 5.2.2).
+	Promotions int64
+	// Uncorrectable counts reads whose bit errors exceeded the
+	// configured ECC strength (served from disk instead).
+	Uncorrectable int64
+	// RetiredBlocks counts permanently removed blocks.
+	RetiredBlocks int64
+}
+
+// MissRate returns read misses over read lookups.
+func (s Stats) MissRate() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Reads)
+}
+
+// Cache is the Flash-based disk cache. Not safe for concurrent use.
+type Cache struct {
+	cfg     Config
+	dev     *nand.Device
+	fcht    *tables.FCHT
+	fpst    *tables.FPST
+	fbst    *tables.FBST
+	fgst    tables.FGST
+	lat     ecc.LatencyModel
+	regions []*region
+	meta    []blockMeta
+	stats   Stats
+	// seq is a logical access clock for frequency estimation.
+	seq uint64
+	// gcCheck amortises the read-region watermark scan.
+	gcCheck uint64
+	// totalValid is the number of valid pages across the cache.
+	totalValid int64
+	// marginalFreq is an EWMA of the access frequency of pages
+	// dropped by capacity evictions — the marginal utility of one
+	// page of capacity, feeding the delta-miss term of the
+	// section 5.2.1 heuristics. Negative until the first eviction.
+	marginalFreq float64
+	dead         bool
+	// clock and busyUntil model device contention when attached (see
+	// AttachClock).
+	clock     *sim.Clock
+	busyUntil sim.Time
+}
+
+// New builds a cache. It panics on degenerate configurations: sizing
+// the cache is a design-time decision in every caller.
+func New(cfg Config) *Cache {
+	if cfg.FlashBytes < 4*int64(nand.SlotsPerBlock)*PageSize {
+		panic("core: flash too small (need at least 4 blocks)")
+	}
+	if cfg.ReadFraction == 0 {
+		cfg.ReadFraction = 0.9
+	}
+	if cfg.ReadFraction <= 0 || cfg.ReadFraction >= 1 {
+		panic(fmt.Sprintf("core: read fraction %v outside (0,1)", cfg.ReadFraction))
+	}
+	if cfg.BaseStrength == 0 {
+		cfg.BaseStrength = 1
+	}
+	if err := cfg.BaseStrength.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.ForcedStrength != 0 {
+		if cfg.ForcedStrength < 1 || cfg.ForcedStrength > 64 {
+			panic(fmt.Sprintf("core: forced strength %d outside [1,64]", cfg.ForcedStrength))
+		}
+		cfg.BaseStrength = cfg.ForcedStrength
+		cfg.Programmable = false
+	}
+	if cfg.HotSaturation == 0 {
+		cfg.HotSaturation = 64
+	}
+	if cfg.K1 == 0 {
+		cfg.K1 = 2
+	}
+	if cfg.K2 == 0 {
+		cfg.K2 = 20
+	}
+	if cfg.WearThreshold == 0 {
+		cfg.WearThreshold = 256
+	}
+	if cfg.Watermark == 0 {
+		cfg.Watermark = 0.90
+	}
+	if cfg.Watermark <= 0 || cfg.Watermark > 1 {
+		panic(fmt.Sprintf("core: watermark %v outside (0,1]", cfg.Watermark))
+	}
+	if cfg.MissPenalty == 0 {
+		cfg.MissPenalty = 4200 * sim.Microsecond
+	}
+
+	blocks := nand.BlocksForCapacity(cfg.FlashBytes, cfg.InitialMode)
+	if blocks < 4 {
+		blocks = 4
+	}
+	c := &Cache{
+		cfg: cfg,
+		dev: nand.New(nand.Config{
+			Blocks:           blocks,
+			SigmaSpatial:     cfg.SigmaSpatial,
+			InitialMode:      cfg.InitialMode,
+			Timing:           cfg.Timing,
+			Seed:             cfg.Seed,
+			WearAcceleration: cfg.WearAcceleration,
+		}),
+		fcht:         tables.NewFCHT(),
+		fpst:         tables.NewFPST(blocks, cfg.BaseStrength, cfg.InitialMode, cfg.HotSaturation),
+		fbst:         tables.NewFBST(blocks, cfg.K1, cfg.K2),
+		lat:          ecc.DefaultLatencyModel(),
+		meta:         make([]blockMeta, blocks),
+		marginalFreq: -1,
+	}
+	if cfg.Backing == nil {
+		c.cfg.Backing = &discard{}
+	}
+
+	if cfg.Split {
+		readBlocks := int(float64(blocks) * cfg.ReadFraction)
+		if readBlocks < 2 {
+			readBlocks = 2
+		}
+		if blocks-readBlocks < 2 {
+			readBlocks = blocks - 2
+		}
+		c.regions = []*region{
+			newRegion(readRegion),
+			newRegion(writeRegion),
+		}
+		for b := 0; b < blocks; b++ {
+			r := readRegion
+			if b >= readBlocks {
+				r = writeRegion
+			}
+			c.meta[b].region = r
+			c.regions[r].addFree(b)
+		}
+	} else {
+		c.regions = []*region{newRegion(readRegion)}
+		for b := 0; b < blocks; b++ {
+			c.meta[b].region = readRegion
+			c.regions[readRegion].addFree(b)
+		}
+	}
+	return c
+}
+
+// Stats returns a copy of the cache counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// DeviceStats returns the underlying Flash operation counters.
+func (c *Cache) DeviceStats() nand.Stats { return c.dev.Stats() }
+
+// Global returns a copy of the FGST (miss rate, latency averages,
+// reconfiguration-event counters for Figure 11).
+func (c *Cache) Global() tables.FGST { return c.fgst }
+
+// Contains reports whether lba is cached in Flash.
+func (c *Cache) Contains(lba int64) bool {
+	_, ok := c.fcht.Get(lba)
+	return ok
+}
+
+// ValidPages returns the number of live cached pages.
+func (c *Cache) ValidPages() int64 { return c.totalValid }
+
+// Dead reports whether the cache has lost so many blocks it can no
+// longer operate (the "total Flash failure" endpoint of Figure 12).
+func (c *Cache) Dead() bool { return c.dead }
+
+// CapacityPages returns the current addressable page capacity across
+// usable blocks.
+func (c *Cache) CapacityPages() int64 {
+	return c.dev.CapacityBytes() / PageSize
+}
+
+// Blocks returns the device's erase-block count.
+func (c *Cache) Blocks() int { return c.dev.Blocks() }
+
+// EraseCount returns the erase cycles block b has endured, for
+// wear-levelling studies.
+func (c *Cache) EraseCount(b int) int { return c.dev.EraseCount(b) }
+
+// WearOut evaluates the FBST degree-of-wear cost function for block b.
+func (c *Cache) WearOut(b int) float64 { return c.fbst.WearOut(b) }
+
+// writeRegionIndex returns the region that absorbs writes.
+func (c *Cache) writeRegionIndex() int {
+	if len(c.regions) == 2 {
+		return writeRegion
+	}
+	return readRegion
+}
+
+// ResetDeviceStats zeroes the Flash device operation counters (e.g.
+// after warmup); wear state and cache contents are untouched. The
+// contention timeline is re-anchored to the epoch, matching callers
+// that reset their clock alongside.
+func (c *Cache) ResetDeviceStats() {
+	c.dev.ResetStats()
+	c.busyUntil = 0
+}
+
+// AttachClock enables device-contention modelling: with a clock
+// attached, background work (GC, wear rotations) occupies the Flash
+// device on a timeline, and host reads arriving while it runs wait for
+// it — the mechanism behind Figure 1(b)'s performance impact. Without
+// a clock (the default), background work is accounted in GCTime and
+// power only.
+func (c *Cache) AttachClock(clock *sim.Clock) { c.clock = clock }
+
+// contentionDelay returns how long a host operation arriving now must
+// wait for the device, and marks the device busy for opTime after it.
+func (c *Cache) contentionDelay(opTime sim.Duration) sim.Duration {
+	if c.clock == nil {
+		return 0
+	}
+	now := c.clock.Now()
+	start := now
+	if c.busyUntil.After(start) {
+		start = c.busyUntil
+	}
+	c.busyUntil = start.Add(opTime)
+	return start.Sub(now)
+}
+
+// occupyDevice marks the device busy for background work of the given
+// duration starting at the current clock (no-op without a clock).
+func (c *Cache) occupyDevice(d sim.Duration) {
+	if c.clock == nil || d <= 0 {
+		return
+	}
+	start := c.clock.Now()
+	if c.busyUntil.After(start) {
+		start = c.busyUntil
+	}
+	c.busyUntil = start.Add(d)
+}

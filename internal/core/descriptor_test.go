@@ -1,0 +1,48 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"flashdc/internal/wear"
+)
+
+func TestDescriptorFor(t *testing.T) {
+	c := smallCache(t, nil)
+	if _, ok := c.DescriptorFor(5); ok {
+		t.Fatal("descriptor for uncached page")
+	}
+	c.Insert(5)
+	d, ok := c.DescriptorFor(5)
+	if !ok {
+		t.Fatal("no descriptor for cached page")
+	}
+	if d.Strength != 1 || d.Mode != wear.MLC {
+		t.Fatalf("fresh descriptor %+v, want t=1 MLC", d)
+	}
+	if !strings.Contains(d.String(), "t=1") || !strings.Contains(d.String(), "MLC") {
+		t.Fatalf("descriptor rendering %q", d.String())
+	}
+}
+
+func TestDescriptorTracksPromotion(t *testing.T) {
+	c := smallCache(t, func(cfg *Config) { cfg.HotSaturation = 2 })
+	c.Insert(9)
+	c.Read(9)
+	c.Read(9) // saturates -> SLC promotion
+	d, ok := c.DescriptorFor(9)
+	if !ok || d.Mode != wear.SLC {
+		t.Fatalf("descriptor after promotion %+v, want SLC", d)
+	}
+}
+
+func TestMetadataBytesUnderTwoPercent(t *testing.T) {
+	c := smallCache(t, nil)
+	meta := c.MetadataBytes()
+	if meta <= 0 {
+		t.Fatal("no metadata accounted")
+	}
+	if float64(meta) >= 0.02*float64(8*testMB) {
+		t.Fatalf("metadata %dB exceeds 2%% of flash", meta)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/tables"
+	"flashdc/internal/wear"
+)
+
+// ReadOutcome reports one cache lookup.
+type ReadOutcome struct {
+	// Hit is true when the page was served from Flash.
+	Hit bool
+	// Latency is the foreground service time on a hit (Flash array
+	// read plus ECC decode). Zero on a miss — the caller pays the
+	// disk and should then call Insert.
+	Latency sim.Duration
+}
+
+// Read looks a disk page up in the Flash cache, following section 5.1.
+// On a hit it performs the Flash read, charges ECC decode latency,
+// updates recency and the access counter, and lets the programmable
+// controller react to observed bit errors (reconfiguration, hot-page
+// promotion). On a miss (including an uncorrectable page) the caller
+// must fetch from disk and Insert.
+func (c *Cache) Read(lba int64) ReadOutcome {
+	c.seq++
+	c.stats.Reads++
+	if c.dead {
+		c.stats.Misses++
+		c.fgst.RecordMiss(c.cfg.MissPenalty)
+		return ReadOutcome{}
+	}
+	addr, ok := c.fcht.Get(lba)
+	if !ok {
+		c.stats.Misses++
+		c.fgst.RecordMiss(c.cfg.MissPenalty)
+		return ReadOutcome{}
+	}
+	st := c.fpst.At(addr)
+	res, err := c.dev.Read(addr)
+	if err != nil {
+		panic(err)
+	}
+	if res.BitErrors > int(st.Strength) {
+		// Uncorrectable: the page's data is lost; serve from disk.
+		c.stats.Uncorrectable++
+		c.stats.Misses++
+		exhausted := !c.cfg.Programmable ||
+			(st.StagedStrength >= maxControllerStrength && st.StagedMode == wear.SLC)
+		block := addr.Block
+		c.invalidate(addr)
+		if exhausted {
+			c.retire(block)
+		} else {
+			c.reconfigure(block, addr, res.BitErrors, c.pageFreq(st))
+		}
+		c.fgst.RecordMiss(c.cfg.MissPenalty)
+		return ReadOutcome{}
+	}
+
+	lat := res.Latency
+	if res.BitErrors > 0 || c.cfg.AssumeWorn {
+		lat += c.lat.DecodeLatency(st.Strength)
+	} else {
+		lat += c.lat.DecodeLatencyClean(st.Strength)
+	}
+	// With contention modelling, a read colliding with background GC
+	// waits for the device.
+	lat += c.contentionDelay(res.Latency)
+	c.touch(addr.Block)
+	saturated := c.fpst.IncAccess(addr)
+	c.stats.Hits++
+	c.fgst.RecordHit(lat)
+
+	if c.cfg.Programmable {
+		if res.BitErrors >= int(st.Strength) &&
+			st.StagedStrength == st.Strength && st.StagedMode == st.Mode {
+			// At the correction limit with no fix pending yet:
+			// reconfigure before the next wear step makes the page
+			// unreadable (section 5.2.1). A page with a staged change
+			// waits for its block's next erase.
+			c.reconfigure(addr.Block, addr, res.BitErrors, c.pageFreq(st))
+		}
+		if saturated && st.Mode == wear.MLC {
+			c.promote(addr)
+		}
+	}
+	c.maybeGC()
+	return ReadOutcome{Hit: true, Latency: lat}
+}
+
+// Insert fills a disk page into the read region after a miss was
+// served from disk. The program happens off the critical path; the
+// returned latency is background time. Inserting a page that is
+// already cached refreshes recency only.
+func (c *Cache) Insert(lba int64) sim.Duration {
+	c.seq++
+	if c.dead {
+		return 0
+	}
+	if addr, ok := c.fcht.Get(lba); ok {
+		c.touch(addr.Block)
+		return 0
+	}
+	c.stats.Fills++
+	r := c.regions[readRegion]
+	addr, lat := c.allocProgram(r, c.allocMode(), lba)
+	lat += c.contentionDelay(lat)
+	if c.dead {
+		return lat
+	}
+	st := c.fpst.At(addr)
+	st.Access = 1
+	c.fcht.Put(lba, addr)
+	c.maybeGC()
+	return lat
+}
+
+// Write stores a dirty disk page into the write region (section 5.1):
+// an existing copy anywhere in Flash is invalidated (out-of-place
+// write), then a fresh page is programmed. The returned latency is the
+// program time; the paper treats these as periodic background flushes
+// from the primary disk cache.
+func (c *Cache) Write(lba int64) sim.Duration {
+	c.seq++
+	c.stats.Writes++
+	if c.dead {
+		c.stats.FlushedPages++
+		return c.cfg.Backing.WritePage(lba)
+	}
+	if addr, ok := c.fcht.Get(lba); ok {
+		c.invalidate(addr)
+	}
+	r := c.regions[c.writeRegionIndex()]
+	addr, lat := c.allocProgram(r, c.allocMode(), lba)
+	lat += c.contentionDelay(lat)
+	if c.dead {
+		return lat
+	}
+	c.fcht.Put(lba, addr)
+	c.maybeGC()
+	return lat
+}
+
+// allocMode returns the density for new data: the device's initial
+// (dense) mode; hot pages move to SLC by promotion, not insertion.
+func (c *Cache) allocMode() wear.Mode { return c.cfg.InitialMode }
+
+// Flush writes every page in the write region back to the backing
+// store and returns the number of pages flushed. Used at simulation
+// end ("the disk is eventually updated by flushing the write disk
+// cache").
+func (c *Cache) Flush() int {
+	if len(c.regions) != 2 {
+		return 0
+	}
+	n := 0
+	r := c.regions[writeRegion]
+	flushBlock := func(b int) {
+		for _, a := range c.validPagesOf(b) {
+			st := c.fpst.At(a)
+			c.cfg.Backing.WritePage(st.LBA)
+			c.stats.FlushedPages++
+			c.invalidate(a)
+			n++
+		}
+	}
+	if r.open >= 0 {
+		flushBlock(r.open)
+	}
+	for e := r.lru.Front(); e != nil; e = e.Next() {
+		flushBlock(e.Value.(int))
+	}
+	return n
+}
+
+// pageFreq estimates the relative access frequency of a page: its
+// access-counter value over the accesses elapsed since insertion.
+func (c *Cache) pageFreq(st *tables.PageStatus) float64 {
+	age := c.seq - st.InsertedAt
+	if age == 0 {
+		return 1
+	}
+	f := float64(st.Access) / float64(age)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// promote migrates a read-hot MLC page to a fresh SLC page in the read
+// region (section 5.2.2), seeding the new page's counter at the
+// saturated value.
+func (c *Cache) promote(addr nand.Addr) {
+	st := c.fpst.At(addr)
+	lba := st.LBA
+	region := c.regions[c.meta[addr.Block].region]
+	c.invalidate(addr)
+	dst, _ := c.allocProgram(region, wear.SLC, lba)
+	if c.dead {
+		return
+	}
+	d := c.fpst.At(dst)
+	d.Access = c.fpst.Saturate()
+	c.fcht.Put(lba, dst)
+	c.stats.Promotions++
+	// A promotion is a density descriptor update (section 5.2.2), so
+	// it counts in the Figure 11 event breakdown.
+	c.fgst.DensityReconfigs++
+}

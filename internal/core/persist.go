@@ -1,0 +1,229 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"flashdc/internal/ecc"
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/tables"
+	"flashdc/internal/wear"
+)
+
+// Metadata persistence: the paper keeps the management tables in DRAM
+// at run time but sources them from the disk ("These tables are read
+// from the hard disk drive and stored in DRAM at run-time", section
+// 3). SaveMetadata serialises the FCHT/FPST/FBST state plus the
+// allocator bookkeeping so a cache can shut down and resume with its
+// Flash contents intact — Flash is non-volatile, only the DRAM tables
+// need rebuilding.
+
+// persistImage is the on-disk form. Only exported fields survive gob.
+type persistImage struct {
+	Version    int
+	FlashBytes int64
+	Blocks     int
+
+	// Per-page state, indexed [block][slot][sub].
+	Pages [][]([2]persistPage)
+	// Per-block state.
+	BlocksMeta []persistBlock
+	// Global statistics (FGST).
+	Hits, Misses                   int64
+	HitLatencyTotal, MissPenTotal  int64
+	ECCReconfigs, DensityReconfigs int64
+}
+
+type persistPage struct {
+	Strength, StagedStrength ecc.Strength
+	Mode, StagedMode         wear.Mode
+	Valid                    bool
+	LBA                      int64
+	Access                   uint32
+}
+
+type persistBlock struct {
+	State              uint8
+	Region             int
+	Valid, Consumed    int
+	CursorSlot, Sub    int
+	Erases             int
+	TotalECC, TotalSLC int
+	Retired            bool
+	EraseCount         int // device-side cycles
+}
+
+const persistVersion = 1
+
+// SaveMetadata writes the management tables to w. The cache must be
+// quiescent (no in-flight operation).
+func (c *Cache) SaveMetadata(w io.Writer) error {
+	img := persistImage{
+		Version:    persistVersion,
+		FlashBytes: c.cfg.FlashBytes,
+		Blocks:     len(c.meta),
+		Pages:      make([][]([2]persistPage), len(c.meta)),
+		BlocksMeta: make([]persistBlock, len(c.meta)),
+
+		Hits:             c.fgst.Hits,
+		Misses:           c.fgst.Misses,
+		HitLatencyTotal:  int64(c.fgst.HitLatencyTotal),
+		MissPenTotal:     int64(c.fgst.MissPenaltyTotal),
+		ECCReconfigs:     c.fgst.ECCReconfigs,
+		DensityReconfigs: c.fgst.DensityReconfigs,
+	}
+	for b := range c.meta {
+		img.Pages[b] = make([]([2]persistPage), nand.SlotsPerBlock)
+		for s := 0; s < nand.SlotsPerBlock; s++ {
+			for sub := 0; sub < 2; sub++ {
+				st := c.fpst.At(nand.Addr{Block: b, Slot: s, Sub: sub})
+				img.Pages[b][s][sub] = persistPage{
+					Strength:       st.Strength,
+					StagedStrength: st.StagedStrength,
+					Mode:           st.Mode,
+					StagedMode:     st.StagedMode,
+					Valid:          st.Valid,
+					LBA:            st.LBA,
+					Access:         st.Access,
+				}
+			}
+		}
+		m := &c.meta[b]
+		bst := c.fbst.At(b)
+		img.BlocksMeta[b] = persistBlock{
+			State:      uint8(m.state),
+			Region:     m.region,
+			Valid:      m.valid,
+			Consumed:   m.consumed,
+			CursorSlot: m.cursorSlot,
+			Sub:        m.cursorSub,
+			Erases:     bst.Erases,
+			TotalECC:   bst.TotalECC,
+			TotalSLC:   bst.TotalSLC,
+			Retired:    bst.Retired,
+			EraseCount: c.dev.EraseCount(b),
+		}
+	}
+	return gob.NewEncoder(w).Encode(&img)
+}
+
+// LoadMetadata rebuilds a cache from a metadata image and the original
+// configuration. The configuration must match the one the image was
+// saved under (same FlashBytes, Split, Seed — the Flash contents and
+// wear state are reconstructed deterministically from them).
+func LoadMetadata(cfg Config, r io.Reader) (*Cache, error) {
+	var img persistImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("core: decoding metadata: %w", err)
+	}
+	if img.Version != persistVersion {
+		return nil, fmt.Errorf("core: metadata version %d, want %d", img.Version, persistVersion)
+	}
+	if img.FlashBytes != cfg.FlashBytes {
+		return nil, fmt.Errorf("core: metadata for %dB Flash, config says %dB",
+			img.FlashBytes, cfg.FlashBytes)
+	}
+	c := New(cfg)
+	if len(c.meta) != img.Blocks {
+		return nil, fmt.Errorf("core: metadata for %d blocks, device has %d",
+			img.Blocks, len(c.meta))
+	}
+
+	// Rebuild regions from scratch.
+	for _, r := range c.regions {
+		r.free = nil
+		r.open = -1
+		r.lru.Init()
+		r.blocks = 0
+	}
+	c.totalValid = 0
+	c.fcht = tables.NewFCHT()
+
+	for b := range c.meta {
+		pb := img.BlocksMeta[b]
+		// Replay device state: erase cycles, then slot modes and
+		// programmed pages.
+		for i := 0; i < pb.EraseCount; i++ {
+			if _, err := c.dev.Erase(b); err != nil {
+				return nil, fmt.Errorf("core: replaying erases on block %d: %w", b, err)
+			}
+		}
+		for s := 0; s < nand.SlotsPerBlock; s++ {
+			mode := img.Pages[b][s][0].Mode
+			if c.dev.Mode(nand.Addr{Block: b, Slot: s}) != mode {
+				if err := c.dev.SetMode(b, s, mode); err != nil {
+					return nil, fmt.Errorf("core: restoring mode b%d/s%d: %w", b, s, err)
+				}
+			}
+			subs := 1
+			if mode == wear.MLC {
+				subs = 2
+			}
+			for sub := 0; sub < subs; sub++ {
+				pp := img.Pages[b][s][sub]
+				a := nand.Addr{Block: b, Slot: s, Sub: sub}
+				st := c.fpst.At(a)
+				st.Strength = pp.Strength
+				st.StagedStrength = pp.StagedStrength
+				st.Mode = pp.Mode
+				st.StagedMode = pp.StagedMode
+				st.Valid = pp.Valid
+				st.LBA = pp.LBA
+				st.Access = pp.Access
+				if pp.Valid {
+					if _, err := c.dev.Program(a, uint64(pp.LBA)); err != nil {
+						return nil, fmt.Errorf("core: restoring page %v: %w", a, err)
+					}
+					c.fcht.Put(pp.LBA, a)
+					c.totalValid++
+				}
+			}
+			// Restore staged modes on the unused sub as well.
+			if subs == 1 {
+				pp := img.Pages[b][s][1]
+				st := c.fpst.At(nand.Addr{Block: b, Slot: s, Sub: 1})
+				st.StagedMode = pp.StagedMode
+				st.StagedStrength = pp.StagedStrength
+			}
+		}
+		m := &c.meta[b]
+		m.state = blockLifecycle(pb.State)
+		m.region = pb.Region
+		m.valid = pb.Valid
+		m.consumed = pb.Consumed
+		m.cursorSlot = pb.CursorSlot
+		m.cursorSub = pb.Sub
+		bst := c.fbst.At(b)
+		bst.Erases = pb.Erases
+		bst.TotalECC = pb.TotalECC
+		bst.TotalSLC = pb.TotalSLC
+		bst.Retired = pb.Retired
+
+		region := c.regions[m.region]
+		switch m.state {
+		case blockFree:
+			region.addFree(b)
+		case blockOpen:
+			region.blocks++
+			region.open = b
+		case blockActive:
+			region.blocks++
+			m.elem = region.lru.PushBack(b) // recency is lost; order by block id
+		case blockRetired:
+			c.dev.Retire(b)
+			c.stats.RetiredBlocks++
+		}
+	}
+	// Those device ops were reconstruction, not workload.
+	c.dev.ResetStats()
+
+	c.fgst.Hits = img.Hits
+	c.fgst.Misses = img.Misses
+	c.fgst.HitLatencyTotal = sim.Duration(img.HitLatencyTotal)
+	c.fgst.MissPenaltyTotal = sim.Duration(img.MissPenTotal)
+	c.fgst.ECCReconfigs = img.ECCReconfigs
+	c.fgst.DensityReconfigs = img.DensityReconfigs
+	return c, nil
+}

@@ -1,0 +1,504 @@
+package core
+
+import (
+	"container/list"
+
+	"flashdc/internal/ecc"
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/wear"
+)
+
+// applyStagedAndErase erases block b, applies every staged page
+// configuration (section 5.2: "updated page settings are applied on
+// the next erase and write access"), resets the cache metadata, and
+// returns the erase latency. Valid pages must already be gone.
+func (c *Cache) applyStagedAndErase(b int) sim.Duration {
+	m := &c.meta[b]
+	if m.valid != 0 {
+		panic("core: erasing a block with valid pages")
+	}
+	lat, err := c.dev.Erase(b)
+	if err != nil {
+		panic(err)
+	}
+	c.fbst.At(b).Erases++
+	for s := 0; s < nand.SlotsPerBlock; s++ {
+		slotAddr := nand.Addr{Block: b, Slot: s}
+		desired := c.fpst.At(slotAddr).StagedMode
+		if c.dev.Mode(slotAddr) != desired {
+			if err := c.dev.SetMode(b, s, desired); err != nil {
+				panic(err)
+			}
+		}
+		for sub := 0; sub < 2; sub++ {
+			st := c.fpst.At(nand.Addr{Block: b, Slot: s, Sub: sub})
+			st.Mode = desired
+			st.Strength = st.StagedStrength
+			st.Valid = false
+			st.Access = 0
+		}
+	}
+	freq := c.blockFreqEstimate(b)
+	m.valid = 0
+	m.consumed = 0
+	m.cursorSlot = 0
+	m.cursorSub = 0
+	m.accessSum = 0
+	m.lastEraseSeq = c.seq
+	m.state = blockFree
+	m.elem = nil
+	// Post-erase reliability pass: pages whose wear already exceeds
+	// their (freshly applied) strength must be reconfigured before
+	// reuse, or the block retired when both knobs are exhausted.
+	if !c.ensureReliable(b, freq) {
+		c.retire(b)
+	}
+	return lat
+}
+
+// ensureReliable checks every slot of the just-erased block b against
+// the wear model and reconfigures pages whose wear already exceeds
+// their correction capability — data written there would be lost
+// immediately. Pages merely *at* the limit are left for the read-time
+// heuristic (section 5.2.1), which has per-page frequency knowledge.
+// It reports false when the block is beyond help.
+func (c *Cache) ensureReliable(b int, freq float64) bool {
+	for s := 0; s < nand.SlotsPerBlock; s++ {
+		slotAddr := nand.Addr{Block: b, Slot: s}
+		for {
+			errs := c.dev.BitErrors(slotAddr)
+			st := c.fpst.At(slotAddr)
+			if errs <= int(st.Strength) {
+				break
+			}
+			if !c.cfg.Programmable {
+				return false
+			}
+			if !c.reconfigure(b, slotAddr, errs, freq) {
+				return false
+			}
+			// Apply the new staging immediately: the block is erased,
+			// so both knobs are legal right now.
+			desired := st.StagedMode
+			if c.dev.Mode(slotAddr) != desired {
+				if err := c.dev.SetMode(b, s, desired); err != nil {
+					panic(err)
+				}
+			}
+			for sub := 0; sub < 2; sub++ {
+				p := c.fpst.At(nand.Addr{Block: b, Slot: s, Sub: sub})
+				p.Mode = desired
+				p.Strength = p.StagedStrength
+			}
+		}
+	}
+	return true
+}
+
+// blockFreqEstimate approximates the relative access frequency of the
+// traffic a block carried during its last lifetime, from the access
+// counters captured at invalidation time.
+func (c *Cache) blockFreqEstimate(b int) float64 {
+	m := &c.meta[b]
+	window := c.seq - m.lastEraseSeq
+	if window == 0 || m.consumed == 0 {
+		return 0
+	}
+	perPage := float64(m.accessSum) / float64(m.consumed)
+	return perPage / float64(window)
+}
+
+// retire permanently removes block b (section 5.2: ECC and density
+// limits both reached). Dirty pages are flushed first.
+func (c *Cache) retire(b int) {
+	m := &c.meta[b]
+	if m.state == blockRetired {
+		return
+	}
+	for _, a := range c.validPagesOf(b) {
+		st := c.fpst.At(a)
+		if m.region == c.writeRegionIndex() && len(c.regions) == 2 {
+			c.stats.FlushedPages++
+			c.cfg.Backing.WritePage(st.LBA)
+		}
+		c.invalidate(a)
+	}
+	r := c.regions[m.region]
+	switch m.state {
+	case blockOpen:
+		r.open = -1
+	case blockActive:
+		if m.elem != nil {
+			r.lru.Remove(m.elem)
+			m.elem = nil
+		}
+	case blockFree:
+		for i, fb := range r.free {
+			if fb == b {
+				r.free = append(r.free[:i], r.free[i+1:]...)
+				break
+			}
+		}
+	}
+	r.blocks--
+	m.state = blockRetired
+	c.dev.Retire(b)
+	c.fbst.At(b).Retired = true
+	c.stats.RetiredBlocks++
+	if r.blocks < 2 {
+		c.dead = true
+	}
+}
+
+// reclaim produces at least one free block (or usable open-block
+// space) in region r, via garbage collection of a fully invalid block
+// when one exists, otherwise by evicting a block under the wear-level
+// aware policy. Called when allocation stalls, so relocation-style GC
+// is not possible here (no headroom); backgroundGC handles that case
+// proactively.
+func (c *Cache) reclaim(r *region) {
+	// Fast path: a fully invalid active block just needs an erase.
+	for e := r.lru.Back(); e != nil; e = e.Prev() {
+		b := e.Value.(int)
+		if c.meta[b].valid == 0 {
+			r.lru.Remove(e)
+			c.meta[b].elem = nil
+			c.stats.GCRuns++
+			c.stats.GCTime += c.applyStagedAndErase(b)
+			if c.meta[b].state == blockFree {
+				r.addFreeReclaimed(b)
+				c.maybeWearRotate(b)
+			}
+			return
+		}
+	}
+	c.evict(r)
+}
+
+// addFreeReclaimed returns an erased block to the free list without
+// recounting it in the population (it never left).
+func (r *region) addFreeReclaimed(b int) { r.free = append(r.free, b) }
+
+// evict removes one block's content to make space, honouring the
+// wear-level aware replacement policy of section 3.6: after the LRU
+// victim is freed, a worn victim swaps roles with the globally newest
+// block (the newest block's content migrates into the victim and the
+// newest block is erased for reuse instead).
+func (c *Cache) evict(r *region) {
+	victimElem := r.lru.Back()
+	if victimElem == nil {
+		// Nothing active: the region is degenerate (all space open or
+		// retired). Close the open block so it becomes evictable.
+		if r.open >= 0 {
+			c.closeOpen(r)
+			victimElem = r.lru.Back()
+		}
+		if victimElem == nil {
+			c.dead = true
+			return
+		}
+	}
+	victim := victimElem.Value.(int)
+	c.evictBlock(victim)
+	if c.meta[victim].state == blockFree {
+		c.maybeWearRotate(victim)
+	}
+}
+
+// newestActive finds the active block with minimum degree of wear
+// across the whole Flash ("newest blocks are chosen from the entire
+// set of Flash blocks").
+func (c *Cache) newestActive() (int, float64, bool) {
+	best := -1
+	bestWear := 0.0
+	scan := func(l *list.List) {
+		for e := l.Front(); e != nil; e = e.Next() {
+			b := e.Value.(int)
+			w := c.fbst.WearOut(b)
+			if best == -1 || w < bestWear {
+				best, bestWear = b, w
+			}
+		}
+	}
+	for _, r := range c.regions {
+		scan(r.lru)
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return best, bestWear, true
+}
+
+// evictBlock drops (read region) or flushes (write region) the valid
+// pages of block b, erases it and returns it to its region's free
+// list.
+func (c *Cache) evictBlock(b int) {
+	m := &c.meta[b]
+	r := c.regions[m.region]
+	dirty := m.region == c.writeRegionIndex() && len(c.regions) == 2
+	for _, a := range c.validPagesOf(b) {
+		st := c.fpst.At(a)
+		c.noteMarginal(st)
+		if dirty {
+			c.stats.FlushedPages++
+			c.cfg.Backing.WritePage(st.LBA)
+		}
+		c.invalidate(a)
+	}
+	if m.state == blockActive && m.elem != nil {
+		r.lru.Remove(m.elem)
+		m.elem = nil
+	} else if m.state == blockOpen {
+		r.open = -1
+	}
+	c.stats.Evictions++
+	c.applyStagedAndErase(b)
+	if c.meta[b].state == blockFree {
+		r.addFreeReclaimed(b)
+	}
+}
+
+// maybeWearRotate implements the migration path of section 3.6 for a
+// just-erased block b: when b's degree of wear exceeds the globally
+// newest active block's by the configured threshold, the newest
+// block's live content migrates into b (parking stable data on the
+// worn block) and the newest block is erased and handed to b's region
+// as the fresh space instead. Region tags swap so population counts
+// stay balanced. Returns false when no rotation was needed or it could
+// not fit.
+func (c *Cache) maybeWearRotate(b int) bool {
+	newest, newestWear, ok := c.newestActive()
+	if !ok || newest == b {
+		return false
+	}
+	if c.fbst.WearOut(b)-newestWear <= c.cfg.WearThreshold {
+		return false
+	}
+	vm := &c.meta[b]
+	nm := &c.meta[newest]
+	homeRegion := c.regions[vm.region]
+	newestRegion := c.regions[nm.region]
+
+	content := c.validPagesOf(newest)
+	// b must be able to hold the content: after erase slot modes are
+	// free to set, so the constraint is slot count at the content's
+	// densities.
+	slcCount := 0
+	for _, a := range content {
+		if c.fpst.At(a).Mode == wear.SLC {
+			slcCount++
+		}
+	}
+	mlcCount := len(content) - slcCount
+	if slcCount+(mlcCount+1)/2 > nand.SlotsPerBlock {
+		return false
+	}
+
+	// Remove b from its free list; it is about to become active.
+	for i, fb := range homeRegion.free {
+		if fb == b {
+			homeRegion.free = append(homeRegion.free[:i], homeRegion.free[i+1:]...)
+			break
+		}
+	}
+
+	// Migrate newest's content into b, preserving each page's density
+	// and strength demands.
+	vm.state = blockOpen
+	for _, a := range content {
+		src := c.fpst.At(a)
+		lba := src.LBA
+		mode := src.Mode
+		staged := src.StagedStrength
+		access := src.Access
+		c.invalidate(a)
+		dst, ok := c.migrateAlloc(b, mode)
+		if !ok {
+			// Cannot happen given the capacity check, but degrade
+			// safely: flush dirty data rather than lose it.
+			if nm.region == c.writeRegionIndex() && len(c.regions) == 2 {
+				c.stats.FlushedPages++
+				c.cfg.Backing.WritePage(lba)
+			}
+			continue
+		}
+		if _, err := c.dev.Program(dst, uint64(lba)); err != nil {
+			panic(err)
+		}
+		d := c.fpst.At(dst)
+		d.Valid = true
+		d.LBA = lba
+		d.Access = access
+		d.InsertedAt = c.seq
+		d.StagedStrength = maxStrength(d.StagedStrength, staged)
+		vm.valid++
+		c.totalValid++
+		c.fcht.Put(lba, dst)
+	}
+	// b now plays the newest block's role in the newest's region.
+	vm.state = blockActive
+	vm.region = nm.region
+	vm.elem = newestRegion.lru.PushFront(b)
+
+	// Erase the newest block and hand it to b's former region.
+	if nm.elem != nil {
+		newestRegion.lru.Remove(nm.elem)
+		nm.elem = nil
+	}
+	c.applyStagedAndErase(newest)
+	if c.meta[newest].state == blockFree {
+		nm.region = homeRegion.id
+		homeRegion.free = append(homeRegion.free, newest)
+	}
+	c.stats.WearSwaps++
+	return true
+}
+
+// migrateAlloc allocates the next page of the requested mode inside a
+// specific (open-for-migration) block, bypassing region allocation.
+func (c *Cache) migrateAlloc(b int, mode wear.Mode) (nand.Addr, bool) {
+	m := &c.meta[b]
+	for m.cursorSlot < nand.SlotsPerBlock {
+		slotAddr := nand.Addr{Block: b, Slot: m.cursorSlot}
+		if m.cursorSub == 0 {
+			if c.dev.Mode(slotAddr) != mode {
+				if err := c.dev.SetMode(b, m.cursorSlot, mode); err != nil {
+					panic(err)
+				}
+				for sub := 0; sub < 2; sub++ {
+					st := c.fpst.At(nand.Addr{Block: b, Slot: m.cursorSlot, Sub: sub})
+					st.Mode = mode
+					st.StagedMode = mode
+				}
+			}
+			m.consumed++
+			if mode == wear.MLC {
+				m.cursorSub = 1
+			} else {
+				m.cursorSlot++
+			}
+			return slotAddr, true
+		}
+		if mode == wear.MLC {
+			a := nand.Addr{Block: b, Slot: m.cursorSlot, Sub: 1}
+			m.cursorSlot++
+			m.cursorSub = 0
+			m.consumed++
+			return a, true
+		}
+		m.consumed++
+		m.cursorSlot++
+		m.cursorSub = 0
+	}
+	return nand.Addr{}, false
+}
+
+func maxStrength(a, b ecc.Strength) ecc.Strength {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// backgroundGC compacts invalid space without blocking the host: it
+// relocates the valid pages of the most-invalid block and erases it.
+// Runs only when the region has enough free headroom to absorb the
+// relocations, and returns the (background) time spent. Unless force
+// is set, blocks less than half invalid are not worth collecting (the
+// relocation traffic would exceed the space reclaimed); the watermark
+// trigger forces collection because the read region's aggregate
+// capacity is already below target.
+func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
+	best := -1
+	bestInvalid := 0
+	var bestElem *list.Element
+	for e := r.lru.Back(); e != nil; e = e.Prev() {
+		b := e.Value.(int)
+		m := &c.meta[b]
+		invalid := m.consumed - m.valid
+		if invalid > bestInvalid {
+			best, bestInvalid, bestElem = b, invalid, e
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	// Collecting a mostly-valid block wastes relocation bandwidth; GC
+	// only pays off past a minimum invalid fraction (the unified
+	// cache's scattered invalid pages therefore linger, which is
+	// exactly the capacity loss section 3.5 attributes to it).
+	if m := &c.meta[best]; !force && bestInvalid*2 < m.consumed {
+		return 0
+	}
+	m := &c.meta[best]
+	if c.freePagesIn(r) < m.valid+4 {
+		return 0 // not enough headroom to relocate safely
+	}
+	var t sim.Duration
+	pages := c.validPagesOf(best)
+	r.lru.Remove(bestElem)
+	m.elem = nil
+	m.state = blockActive // detached; erased below
+	for _, a := range pages {
+		src := c.fpst.At(a)
+		lba := src.LBA
+		mode := src.Mode
+		access := src.Access
+		staged := src.StagedStrength
+		res, err := c.dev.Read(a)
+		if err != nil {
+			panic(err)
+		}
+		t += res.Latency
+		c.invalidate(a)
+		dst, lat := c.allocProgram(r, mode, lba)
+		if c.dead {
+			break
+		}
+		t += lat
+		d := c.fpst.At(dst)
+		d.Access = access
+		d.StagedStrength = maxStrength(d.StagedStrength, staged)
+		c.fcht.Put(lba, dst)
+		c.stats.GCRelocations++
+	}
+	c.stats.GCRuns++
+	if c.meta[best].state != blockRetired {
+		t += c.applyStagedAndErase(best)
+		if c.meta[best].state == blockFree {
+			r.addFreeReclaimed(best)
+			c.maybeWearRotate(best)
+		}
+	}
+	c.stats.GCTime += t
+	c.occupyDevice(t)
+	return t
+}
+
+// maybeGC runs the background collectors per section 5.1: the read
+// region compacts when its valid fraction drops below the watermark;
+// the write region compacts when free space runs low. The watermark
+// scan is O(blocks), so it is amortised over a small window of host
+// operations.
+func (c *Cache) maybeGC() {
+	if len(c.regions) == 2 {
+		c.gcCheck++
+		if c.gcCheck&31 == 0 {
+			rr := c.regions[readRegion]
+			total, valid := c.regionPages(rr)
+			if total > 0 && float64(valid)/float64(total) < c.cfg.Watermark {
+				c.backgroundGC(rr, true)
+			}
+		}
+		wr := c.regions[writeRegion]
+		if c.freePagesIn(wr) < 2*c.pagesPerFreshBlock() {
+			c.backgroundGC(wr, false)
+		}
+		return
+	}
+	r := c.regions[0]
+	if c.freePagesIn(r) < 2*c.pagesPerFreshBlock() {
+		c.backgroundGC(r, false)
+	}
+}

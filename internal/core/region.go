@@ -1,0 +1,255 @@
+package core
+
+import (
+	"container/list"
+
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/tables"
+	"flashdc/internal/wear"
+)
+
+// blockLifecycle is where a block sits in the free -> open -> active ->
+// (erase) -> free cycle.
+type blockLifecycle uint8
+
+const (
+	blockFree blockLifecycle = iota
+	blockOpen
+	blockActive
+	blockRetired
+)
+
+// blockMeta is the cache's per-block bookkeeping, complementing the
+// FBST (which holds the paper-visible wear statistics).
+type blockMeta struct {
+	state  blockLifecycle
+	region int
+	// valid is the number of live pages; consumed the number of page
+	// positions the allocator has passed (valid + invalidated +
+	// skipped sub-pages).
+	valid    int
+	consumed int
+	// cursorSlot/cursorSub is the next allocation position.
+	cursorSlot int
+	cursorSub  int
+	// elem is the block's node in its region's LRU list while active.
+	elem *list.Element
+	// accessSum accumulates the FPST access counters of pages at
+	// invalidation time, giving the erase-time reconfiguration
+	// heuristic a frequency estimate for the block's traffic.
+	accessSum uint64
+	// lastEraseSeq is the cache access sequence at the last erase.
+	lastEraseSeq uint64
+}
+
+// region is one disk-cache partition (read or write), owning a
+// disjoint set of blocks.
+type region struct {
+	id int
+	// free holds erased blocks ready to open.
+	free []int
+	// open is the block currently being filled, or -1.
+	open int
+	// lru lists active (fully allocated) blocks, front = most
+	// recently used. Values are block numbers (int).
+	lru *list.List
+	// blocks is the current population (free + open + active).
+	blocks int
+}
+
+func newRegion(id int) *region {
+	return &region{id: id, open: -1, lru: list.New()}
+}
+
+func (r *region) addFree(b int) {
+	r.free = append(r.free, b)
+	r.blocks++
+}
+
+// popFree removes and returns one erased block, or -1.
+func (r *region) popFree() int {
+	if len(r.free) == 0 {
+		return -1
+	}
+	b := r.free[len(r.free)-1]
+	r.free = r.free[:len(r.free)-1]
+	return b
+}
+
+// touch marks block b most recently used.
+func (c *Cache) touch(b int) {
+	m := &c.meta[b]
+	if m.state == blockActive && m.elem != nil {
+		c.regions[m.region].lru.MoveToFront(m.elem)
+	}
+}
+
+// freePagesIn returns how many more pages the region can allocate
+// without reclaiming (open-block remainder plus free blocks).
+func (c *Cache) freePagesIn(r *region) int {
+	n := len(r.free) * c.pagesPerFreshBlock()
+	if r.open >= 0 {
+		n += c.dev.PagesPerBlock(r.open) - c.meta[r.open].consumed
+	}
+	return n
+}
+
+// pagesPerFreshBlock conservatively estimates an erased block's page
+// yield (its slots may be SLC, so use the SLC floor).
+func (c *Cache) pagesPerFreshBlock() int { return nand.SlotsPerBlock }
+
+// regionPages returns total and valid page counts over the region's
+// populated blocks.
+func (c *Cache) regionPages(r *region) (total, valid int) {
+	for e := r.lru.Front(); e != nil; e = e.Next() {
+		b := e.Value.(int)
+		total += c.dev.PagesPerBlock(b)
+		valid += c.meta[b].valid
+	}
+	if r.open >= 0 {
+		total += c.dev.PagesPerBlock(r.open)
+		valid += c.meta[r.open].valid
+	}
+	return total, valid
+}
+
+// tryAlloc returns the next free page of the open block matching the
+// requested density, advancing the cursor. ok is false when the open
+// block cannot serve the request (full, or absent).
+func (c *Cache) tryAlloc(r *region, mode wear.Mode) (nand.Addr, bool) {
+	if r.open < 0 {
+		return nand.Addr{}, false
+	}
+	b := r.open
+	m := &c.meta[b]
+	for m.cursorSlot < nand.SlotsPerBlock {
+		slotAddr := nand.Addr{Block: b, Slot: m.cursorSlot}
+		if m.cursorSub == 0 {
+			// Untouched slot: set the desired density before first
+			// program (legal only while erased).
+			if c.dev.Mode(slotAddr) != mode {
+				if err := c.dev.SetMode(b, m.cursorSlot, mode); err != nil {
+					panic(err)
+				}
+				for sub := 0; sub < 2; sub++ {
+					st := c.fpst.At(nand.Addr{Block: b, Slot: m.cursorSlot, Sub: sub})
+					st.Mode = mode
+					st.StagedMode = mode
+				}
+			}
+			addr := slotAddr
+			m.consumed++
+			if mode == wear.MLC {
+				m.cursorSub = 1
+			} else {
+				m.cursorSlot++
+			}
+			return addr, true
+		}
+		// Slot is MLC with sub 0 consumed.
+		if mode == wear.MLC {
+			addr := nand.Addr{Block: b, Slot: m.cursorSlot, Sub: 1}
+			m.cursorSlot++
+			m.cursorSub = 0
+			m.consumed++
+			return addr, true
+		}
+		// SLC requested but the slot is half-filled MLC: skip the
+		// second sub-page (it stays unprogrammed until erase, a
+		// capacity loss GC reclaims).
+		m.consumed++
+		m.cursorSlot++
+		m.cursorSub = 0
+	}
+	// Open block exhausted: move it to the active LRU.
+	c.closeOpen(r)
+	return nand.Addr{}, false
+}
+
+// closeOpen moves the region's open block into the active LRU.
+func (c *Cache) closeOpen(r *region) {
+	if r.open < 0 {
+		return
+	}
+	m := &c.meta[r.open]
+	m.state = blockActive
+	m.elem = r.lru.PushFront(r.open)
+	r.open = -1
+}
+
+// openBlock promotes a free block to open.
+func (c *Cache) openBlock(r *region, b int) {
+	m := &c.meta[b]
+	m.state = blockOpen
+	m.region = r.id
+	m.elem = nil
+	r.open = b
+}
+
+// allocProgram obtains a free page of the requested density in the
+// region, programs it with the LBA token, and registers the page as
+// valid. It reclaims space as needed and returns the program latency.
+func (c *Cache) allocProgram(r *region, mode wear.Mode, lba int64) (nand.Addr, sim.Duration) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 2*len(c.meta)+8 {
+			panic("core: allocator made no progress")
+		}
+		if addr, ok := c.tryAlloc(r, mode); ok {
+			lat, err := c.dev.Program(addr, uint64(lba))
+			if err != nil {
+				panic(err)
+			}
+			st := c.fpst.At(addr)
+			st.Valid = true
+			st.LBA = lba
+			st.Access = 0
+			st.InsertedAt = c.seq
+			c.meta[addr.Block].valid++
+			c.totalValid++
+			return addr, lat
+		}
+		if c.dead {
+			return nand.Addr{}, 0
+		}
+		if b := r.popFree(); b >= 0 {
+			c.openBlock(r, b)
+			continue
+		}
+		c.reclaim(r)
+	}
+}
+
+// invalidate marks a cached page dead and removes its mapping.
+func (c *Cache) invalidate(addr nand.Addr) {
+	st := c.fpst.At(addr)
+	if !st.Valid {
+		return
+	}
+	m := &c.meta[addr.Block]
+	m.accessSum += uint64(st.Access)
+	c.fcht.Delete(st.LBA)
+	st.Valid = false
+	st.LBA = tables.InvalidLBA
+	st.Access = 0
+	m.valid--
+	c.totalValid--
+}
+
+// validPagesOf lists the valid page addresses of block b.
+func (c *Cache) validPagesOf(b int) []nand.Addr {
+	var out []nand.Addr
+	for s := 0; s < nand.SlotsPerBlock; s++ {
+		subs := 1
+		if c.dev.Mode(nand.Addr{Block: b, Slot: s}) == wear.MLC {
+			subs = 2
+		}
+		for sub := 0; sub < subs; sub++ {
+			a := nand.Addr{Block: b, Slot: s, Sub: sub}
+			if c.fpst.At(a).Valid {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package crcx
+
+import (
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+
+	"flashdc/internal/sim"
+)
+
+func TestKnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+	}{
+		{"", 0x00000000},
+		{"a", 0xE8B7BE43},
+		{"abc", 0x352441C2},
+		{"123456789", 0xCBF43926},
+		{"The quick brown fox jumps over the lazy dog", 0x414FA339},
+	}
+	for _, c := range cases {
+		if got := Checksum([]byte(c.in)); got != c.want {
+			t.Errorf("Checksum(%q) = %08x, want %08x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMatchesStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return Checksum(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMatchesBitSerial(t *testing.T) {
+	f := func(data []byte) bool {
+		return Checksum(data) == ChecksumBitSerial(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateIncremental(t *testing.T) {
+	f := func(a, b []byte) bool {
+		whole := Checksum(append(append([]byte{}, a...), b...))
+		split := Update(Checksum(a), b)
+		return whole == split
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsSingleBitFlips(t *testing.T) {
+	rng := sim.NewRNG(5)
+	data := make([]byte, 2048)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	want := Checksum(data)
+	for trial := 0; trial < 200; trial++ {
+		pos := rng.Intn(len(data) * 8)
+		data[pos/8] ^= 1 << (pos % 8)
+		if Checksum(data) == want {
+			t.Fatalf("single-bit flip at %d undetected", pos)
+		}
+		data[pos/8] ^= 1 << (pos % 8)
+	}
+}
+
+func TestAppendExtractRoundTrip(t *testing.T) {
+	f := func(crc uint32) bool {
+		buf := Append(nil, crc)
+		return len(buf) == Size && Extract(buf) == crc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extract on short slice did not panic")
+		}
+	}()
+	Extract([]byte{1, 2})
+}
+
+func BenchmarkChecksumPage(b *testing.B) {
+	data := make([]byte, 2048)
+	b.SetBytes(2048)
+	for i := 0; i < b.N; i++ {
+		Checksum(data)
+	}
+}

@@ -1,0 +1,76 @@
+// Package disk models the hard disk drive at the bottom of the
+// hierarchy: a fixed average access latency (Table 3: 4.2ms for the
+// scaled laptop IDE drive) and the Hitachi Travelstar power envelope
+// the paper substitutes for a server drive because its simulated disk
+// is small.
+package disk
+
+import "flashdc/internal/sim"
+
+// Config holds drive parameters.
+type Config struct {
+	// ReadLatency and WriteLatency are average access times including
+	// seek and rotation (Table 3: 4.2ms average access).
+	ReadLatency  sim.Duration
+	WriteLatency sim.Duration
+	// ActivePower is drawn while seeking/transferring; IdlePower is
+	// the low-power idle draw (Travelstar 7K60 class drive).
+	ActivePower float64
+	IdlePower   float64
+}
+
+// DefaultConfig returns the Table 3 drive.
+func DefaultConfig() Config {
+	return Config{
+		ReadLatency:  4200 * sim.Microsecond,
+		WriteLatency: 4200 * sim.Microsecond,
+		ActivePower:  2.3,
+		IdlePower:    0.85,
+	}
+}
+
+// Stats counts drive activity.
+type Stats struct {
+	Reads, Writes int64
+	BusyTime      sim.Duration
+}
+
+// Disk is the drive model. Not safe for concurrent use.
+type Disk struct {
+	cfg   Config
+	stats Stats
+}
+
+// New builds a drive; a zero config is replaced by DefaultConfig.
+func New(cfg Config) *Disk {
+	if cfg == (Config{}) {
+		cfg = DefaultConfig()
+	}
+	if cfg.ReadLatency <= 0 || cfg.WriteLatency <= 0 {
+		panic("disk: non-positive access latency")
+	}
+	return &Disk{cfg: cfg}
+}
+
+// Config returns the drive parameters.
+func (d *Disk) Config() Config { return d.cfg }
+
+// Stats returns a copy of the counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// Read services one page read and returns its latency.
+func (d *Disk) Read() sim.Duration {
+	d.stats.Reads++
+	d.stats.BusyTime += d.cfg.ReadLatency
+	return d.cfg.ReadLatency
+}
+
+// Write services one page write and returns its latency.
+func (d *Disk) Write() sim.Duration {
+	d.stats.Writes++
+	d.stats.BusyTime += d.cfg.WriteLatency
+	return d.cfg.WriteLatency
+}
+
+// ResetStats zeroes the activity counters (e.g. after cache warmup).
+func (d *Disk) ResetStats() { d.stats = Stats{} }

@@ -1,0 +1,49 @@
+package disk
+
+import (
+	"testing"
+
+	"flashdc/internal/sim"
+)
+
+func TestDefaultConfigMatchesTable3(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.ReadLatency != 4200*sim.Microsecond || cfg.WriteLatency != 4200*sim.Microsecond {
+		t.Fatal("latency does not match Table 3 (4.2ms)")
+	}
+	if cfg.ActivePower <= cfg.IdlePower {
+		t.Fatal("active power should exceed idle")
+	}
+}
+
+func TestZeroConfigGetsDefaults(t *testing.T) {
+	d := New(Config{})
+	if d.Config() != DefaultConfig() {
+		t.Fatal("zero config not defaulted")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config did not panic")
+		}
+	}()
+	New(Config{ReadLatency: -1, WriteLatency: 1, ActivePower: 1, IdlePower: 0.1})
+}
+
+func TestReadWriteAccounting(t *testing.T) {
+	d := New(Config{})
+	if lat := d.Read(); lat != 4200*sim.Microsecond {
+		t.Fatalf("read latency %v", lat)
+	}
+	d.Write()
+	d.Write()
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.BusyTime != 3*4200*sim.Microsecond {
+		t.Fatalf("busy time %v", st.BusyTime)
+	}
+}

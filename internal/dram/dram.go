@@ -1,0 +1,224 @@
+// Package dram models the DRAM primary disk cache (PDC) that fronts
+// the Flash secondary disk cache in the paper's architecture (Figure
+// 2): an LRU page cache with write-back dirty tracking, plus the DDR2
+// timing and power constants of Table 2 that the Figure 9 energy
+// breakdown consumes.
+package dram
+
+import (
+	"container/list"
+
+	"flashdc/internal/sim"
+)
+
+// PageSize is the disk-cache page granularity in bytes, matching the
+// Flash page.
+const PageSize = 2048
+
+// DIMMBytes is the capacity of one DDR2 DIMM in the paper's
+// configuration (Table 3: 128MB to 512MB as 1 to 4 DIMMs).
+const DIMMBytes = 128 << 20
+
+// Power and timing constants from Table 2.
+const (
+	// ActivePowerWatts is per-DIMM power while servicing an access.
+	ActivePowerWatts = 0.878
+	// IdlePowerWatts is per-DIMM idle power in active mode.
+	IdlePowerWatts = 0.080
+	// AccessLatency is the row-cycle-dominated latency to move one
+	// 2KB page (tRC 50ns plus burst transfer).
+	AccessLatency = 700 * sim.Nanosecond
+)
+
+// Stats counts cache activity for the power model.
+type Stats struct {
+	Reads, Writes int64
+	Hits, Misses  int64
+}
+
+// ReadBusyTime returns total DRAM busy time attributable to reads.
+func (s Stats) ReadBusyTime() sim.Duration {
+	return sim.Duration(s.Reads) * AccessLatency
+}
+
+// WriteBusyTime returns total DRAM busy time attributable to writes.
+func (s Stats) WriteBusyTime() sim.Duration {
+	return sim.Duration(s.Writes) * AccessLatency
+}
+
+// Policy selects the replacement algorithm.
+type Policy uint8
+
+const (
+	// LRU is strict least-recently-used (the default).
+	LRU Policy = iota
+	// SecondChance is the clock algorithm real OS page caches
+	// approximate LRU with: pages get a reference bit and one
+	// reprieve before eviction.
+	SecondChance
+)
+
+// Evicted describes a page pushed out of the cache.
+type Evicted struct {
+	LBA   int64
+	Dirty bool
+}
+
+// Cache is the LRU primary disk cache. It tracks presence and dirty
+// state of 2KB disk pages; payloads are not stored (trace-driven
+// simulation). Not safe for concurrent use.
+type Cache struct {
+	capacity int
+	policy   Policy
+	lru      *list.List // front = most recent; values are *entry
+	index    map[int64]*list.Element
+	stats    Stats
+}
+
+type entry struct {
+	lba        int64
+	dirty      bool
+	referenced bool // second-chance bit
+}
+
+// NewCache builds an LRU cache holding capacityBytes of pages. It
+// panics if the capacity is smaller than one page.
+func NewCache(capacityBytes int64) *Cache {
+	return NewCacheWithPolicy(capacityBytes, LRU)
+}
+
+// NewCacheWithPolicy builds a cache with the chosen replacement
+// policy.
+func NewCacheWithPolicy(capacityBytes int64, p Policy) *Cache {
+	pages := int(capacityBytes / PageSize)
+	if pages < 1 {
+		panic("dram: cache smaller than one page")
+	}
+	return &Cache{
+		capacity: pages,
+		policy:   p,
+		lru:      list.New(),
+		index:    make(map[int64]*list.Element, pages),
+	}
+}
+
+// CapacityPages returns the cache size in pages.
+func (c *Cache) CapacityPages() int { return c.capacity }
+
+// Len returns the number of resident pages.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Read looks lba up, refreshing recency on a hit. The latency covers
+// the DRAM access itself; on a miss latency is zero (the caller pays
+// the lower levels).
+func (c *Cache) Read(lba int64) (hit bool, latency sim.Duration) {
+	if el, ok := c.index[lba]; ok {
+		c.touch(el)
+		c.stats.Reads++
+		c.stats.Hits++
+		return true, AccessLatency
+	}
+	c.stats.Misses++
+	return false, 0
+}
+
+// touch refreshes a resident page per the active policy.
+func (c *Cache) touch(el *list.Element) {
+	switch c.policy {
+	case LRU:
+		c.lru.MoveToFront(el)
+	case SecondChance:
+		el.Value.(*entry).referenced = true
+	}
+}
+
+// Write updates or inserts lba as dirty, refreshing recency. The
+// returned eviction, if any, must be flushed by the caller when dirty.
+func (c *Cache) Write(lba int64) (sim.Duration, *Evicted) {
+	c.stats.Writes++
+	if el, ok := c.index[lba]; ok {
+		el.Value.(*entry).dirty = true
+		c.touch(el)
+		return AccessLatency, nil
+	}
+	ev := c.insert(lba, true)
+	return AccessLatency, ev
+}
+
+// Fill inserts a clean page fetched from a lower level (Flash or
+// disk). The returned eviction, if any, must be flushed when dirty.
+func (c *Cache) Fill(lba int64) (sim.Duration, *Evicted) {
+	c.stats.Writes++ // a fill writes the page into DRAM
+	if el, ok := c.index[lba]; ok {
+		c.touch(el)
+		return AccessLatency, nil
+	}
+	ev := c.insert(lba, false)
+	return AccessLatency, ev
+}
+
+// Dirty reports whether lba is resident and dirty.
+func (c *Cache) Dirty(lba int64) bool {
+	if el, ok := c.index[lba]; ok {
+		return el.Value.(*entry).dirty
+	}
+	return false
+}
+
+// Clean marks a resident page clean (after a write-back).
+func (c *Cache) Clean(lba int64) {
+	if el, ok := c.index[lba]; ok {
+		el.Value.(*entry).dirty = false
+	}
+}
+
+// DirtyPages returns the LBAs of all dirty resident pages, unordered.
+// Used to flush the PDC at end of simulation.
+func (c *Cache) DirtyPages() []int64 {
+	var out []int64
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*entry); e.dirty {
+			out = append(out, e.lba)
+		}
+	}
+	return out
+}
+
+func (c *Cache) insert(lba int64, dirty bool) *Evicted {
+	var ev *Evicted
+	if c.lru.Len() >= c.capacity {
+		ev = c.evictOne()
+	}
+	c.index[lba] = c.lru.PushFront(&entry{lba: lba, dirty: dirty})
+	return ev
+}
+
+// evictOne removes a victim per the active policy.
+func (c *Cache) evictOne() *Evicted {
+	switch c.policy {
+	case SecondChance:
+		// Sweep the clock hand from the back, granting one reprieve
+		// to referenced pages.
+		for {
+			back := c.lru.Back()
+			e := back.Value.(*entry)
+			if !e.referenced {
+				break
+			}
+			e.referenced = false
+			c.lru.MoveToFront(back)
+		}
+	}
+	back := c.lru.Back()
+	e := back.Value.(*entry)
+	ev := &Evicted{LBA: e.lba, Dirty: e.dirty}
+	delete(c.index, e.lba)
+	c.lru.Remove(back)
+	return ev
+}
+
+// ResetStats zeroes the activity counters (e.g. after cache warmup).
+func (c *Cache) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,93 @@
+package ecc
+
+import "flashdc/internal/sim"
+
+// LatencyModel reproduces the decode/encode timing of the paper's
+// hardware BCH accelerator (section 4.1.1, Figure 6(a)): a 100MHz
+// in-order embedded core augmented with parallel finite-field units —
+// 16 Chien search engines and 16 finite-field adders/multipliers — and
+// a 2^15-entry field lookup table. Latency is dominated by the Chien
+// search, grows roughly linearly in code strength, and lands in the
+// 58us-400us envelope Table 3 quotes.
+type LatencyModel struct {
+	// ClockHz is the accelerator clock (paper: 100MHz).
+	ClockHz float64
+	// ChienEngines is the number of parallel Chien search engines
+	// (paper: 16 instances).
+	ChienEngines int
+	// SyndromeBytesPerCycle is how many codeword bytes one syndrome
+	// pass consumes per cycle.
+	SyndromeBytesPerCycle int
+	// SyndromeLanes is how many syndromes are accumulated in parallel
+	// during one pass over the codeword.
+	SyndromeLanes int
+	// EncodeBitsPerCycle is the LFSR encoder width.
+	EncodeBitsPerCycle int
+	// CRCLatency is the fixed CRC32 check cost ("tens of
+	// nanoseconds", section 4.1.2).
+	CRCLatency sim.Duration
+}
+
+// DefaultLatencyModel returns the accelerator configuration of the
+// paper.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		ClockHz:               100e6,
+		ChienEngines:          16,
+		SyndromeBytesPerCycle: 1,
+		SyndromeLanes:         16,
+		EncodeBitsPerCycle:    32,
+		CRCLatency:            50 * sim.Nanosecond,
+	}
+}
+
+func (l LatencyModel) cycles(n float64) sim.Duration {
+	return sim.Duration(n / l.ClockHz * float64(sim.Second))
+}
+
+// codewordBits returns the shortened code length at strength s for a
+// 2KB page: data plus ~15 parity bits per correctable error.
+func codewordBits(s Strength) int {
+	return PageSize*8 + fieldDegree*int(s)
+}
+
+// SyndromeLatency is the time to compute the 2t syndromes: passes over
+// the codeword, SyndromeLanes syndromes at a time.
+func (l LatencyModel) SyndromeLatency(s Strength) sim.Duration {
+	passes := (2*int(s) + l.SyndromeLanes - 1) / l.SyndromeLanes
+	bytesPerPass := (codewordBits(s) + 7) / 8
+	return l.cycles(float64(passes*bytesPerPass) / float64(l.SyndromeBytesPerCycle))
+}
+
+// BerlekampLatency is the Berlekamp-Massey cost: 2t iterations of up to
+// t multiply-accumulates. The paper calls this "insignificant" and
+// omits it from Figure 6(a); it is included here for completeness.
+func (l LatencyModel) BerlekampLatency(s Strength) sim.Duration {
+	return l.cycles(float64(2 * int(s) * int(s)))
+}
+
+// ChienLatency is the root search cost: each of the n candidate
+// positions needs t field multiplies, spread across ChienEngines.
+func (l LatencyModel) ChienLatency(s Strength) sim.Duration {
+	work := codewordBits(s) * int(s)
+	return l.cycles(float64(work) / float64(l.ChienEngines))
+}
+
+// DecodeLatency is the full decode pipeline cost at strength s when
+// errors are present: syndromes, Berlekamp-Massey, Chien search and
+// the CRC check.
+func (l LatencyModel) DecodeLatency(s Strength) sim.Duration {
+	return l.SyndromeLatency(s) + l.BerlekampLatency(s) + l.ChienLatency(s) + l.CRCLatency
+}
+
+// DecodeLatencyClean is the decode cost when the syndromes come back
+// zero (no errors): only the syndrome pass and CRC check are paid.
+func (l LatencyModel) DecodeLatencyClean(s Strength) sim.Duration {
+	return l.SyndromeLatency(s) + l.CRCLatency
+}
+
+// EncodeLatency is the systematic-encoder cost: the page streamed
+// through the LFSR EncodeBitsPerCycle at a time, plus the CRC.
+func (l LatencyModel) EncodeLatency(s Strength) sim.Duration {
+	return l.cycles(float64(codewordBits(s))/float64(l.EncodeBitsPerCycle)) + l.CRCLatency
+}

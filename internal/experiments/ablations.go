@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flashdc/internal/core"
+	"flashdc/internal/sim"
+	"flashdc/internal/trace"
+	"flashdc/internal/workload"
+)
+
+func init() {
+	register("ablate-split", ablateSplit)
+	register("ablate-wear", ablateWear)
+	register("ablate-hot", ablateHot)
+	register("ablate-gc", ablateGC)
+}
+
+// ablateRun drives one cache configuration with the dbt2 workload and
+// returns read miss rate plus cache stats.
+func ablateRun(o Options, mutate func(*core.Config), requests int) (float64, core.Stats, sim.Duration) {
+	cfg := core.DefaultConfig(int64(float64(512<<20) * o.Scale))
+	cfg.Seed = o.Seed
+	mutate(&cfg)
+	c := core.New(cfg)
+	g := workload.MustNew("dbt2", o.Scale, o.Seed+19)
+	warm := requests / 2
+	var reads, misses int64
+	var hitLatency sim.Duration
+	for i := 0; i < requests; i++ {
+		r := g.Next()
+		r.Expand(func(lba int64) {
+			if r.Op == trace.OpWrite {
+				c.Write(lba)
+				return
+			}
+			out := c.Read(lba)
+			if i >= warm {
+				reads++
+				if !out.Hit {
+					misses++
+				} else {
+					hitLatency += out.Latency
+				}
+			}
+			if !out.Hit {
+				c.Insert(lba)
+			}
+		})
+	}
+	miss := 0.0
+	if reads > 0 {
+		miss = float64(misses) / float64(reads)
+	}
+	avgHit := sim.Duration(0)
+	if h := reads - misses; h > 0 {
+		avgHit = sim.Duration(int64(hitLatency) / h)
+	}
+	return miss, c.Stats(), avgHit
+}
+
+// ablateSplit sweeps the read/write region split ratio of section 3.5
+// around the paper's 90/10 choice.
+func ablateSplit(o Options) *Table {
+	t := &Table{
+		ID:     "ablate-split",
+		Title:  "Ablation: read-region fraction of the split disk cache",
+		Note:   "dbt2 workload; the paper picks 0.90 from observed write behaviour",
+		Header: []string{"read_fraction", "miss_rate", "evictions", "gc_runs"},
+	}
+	requests := o.Requests
+	if requests == 0 {
+		requests = 120000
+	}
+	for _, f := range []float64{0.70, 0.80, 0.90, 0.95} {
+		miss, st, _ := ablateRun(o, func(c *core.Config) { c.ReadFraction = f }, requests)
+		t.AddRow(f, miss, st.Evictions, st.GCRuns)
+	}
+	miss, st, _ := ablateRun(o, func(c *core.Config) { c.Split = false }, requests)
+	t.AddRow("unified", miss, st.Evictions, st.GCRuns)
+	return t
+}
+
+// ablateWear sweeps the wear threshold of the section 3.6 replacement
+// policy under a write-hot stream (the regime wear levelling exists
+// for: a small dirty set hammering the write region) and reports the
+// erase-count spread it achieves.
+func ablateWear(o Options) *Table {
+	t := &Table{
+		ID:     "ablate-wear",
+		Title:  "Ablation: wear-level threshold of the replacement policy",
+		Note:   "hot-write churn with background reads; spread = max-min block erase count; lower spread = better levelling",
+		Header: []string{"threshold", "wear_swaps", "erase_min", "erase_max", "erase_spread"},
+	}
+	requests := o.Requests
+	if requests == 0 {
+		requests = 150000
+	}
+	for _, th := range []float64{64, 256, 1024, 1 << 30} {
+		cfg := core.DefaultConfig(4 << 20) // small device so wear develops
+		cfg.WearThreshold = th
+		cfg.Seed = o.Seed
+		c := core.New(cfg)
+		rng := sim.NewRNG(o.Seed + 23)
+		hot := int(c.CapacityPages() / 16)
+		cold := int(c.CapacityPages() * 2)
+		for i := 0; i < requests; i++ {
+			if rng.Bool(0.8) {
+				c.Write(int64(rng.Intn(hot)))
+			} else {
+				lba := int64(hot + rng.Intn(cold))
+				if !c.Read(lba).Hit {
+					c.Insert(lba)
+				}
+			}
+		}
+		min, max := eraseSpread(c)
+		label := fmt.Sprintf("%.0f", th)
+		if th >= 1<<30 {
+			label = "off"
+		}
+		t.AddRow(label, c.Stats().WearSwaps, min, max, max-min)
+	}
+	return t
+}
+
+// ablateHot sweeps the saturating-counter ceiling that triggers
+// MLC-to-SLC hot page promotion (section 5.2.2).
+func ablateHot(o Options) *Table {
+	t := &Table{
+		ID:     "ablate-hot",
+		Title:  "Ablation: hot-page promotion counter saturation",
+		Note:   "dbt2 workload; lower saturation promotes more pages to SLC (faster hits, less capacity)",
+		Header: []string{"saturation", "miss_rate", "promotions", "avg_hit_latency_us"},
+	}
+	requests := o.Requests
+	if requests == 0 {
+		requests = 120000
+	}
+	for _, sat := range []uint32{8, 32, 64, 256} {
+		miss, st, hit := ablateRun(o, func(c *core.Config) { c.HotSaturation = sat }, requests)
+		t.AddRow(sat, miss, st.Promotions, hit.Microseconds())
+	}
+	return t
+}
+
+// ablateGC sweeps the read-region GC watermark of section 5.1 under a
+// workload whose writes invalidate read-cached pages aggressively
+// (Financial1 is write-heavy), which is what creates the read-region
+// holes the watermark GC exists to compact.
+func ablateGC(o Options) *Table {
+	t := &Table{
+		ID:     "ablate-gc",
+		Title:  "Ablation: read-region GC watermark",
+		Note:   "Financial1 (write-heavy) workload; the paper triggers read-region GC below 90% valid",
+		Header: []string{"watermark", "miss_rate", "gc_runs", "gc_relocations", "gc_time_ms"},
+	}
+	requests := o.Requests
+	if requests == 0 {
+		requests = 150000
+	}
+	for _, w := range []float64{0.70, 0.80, 0.90, 0.99} {
+		cfg := core.DefaultConfig(int64(float64(256<<20) * o.Scale))
+		cfg.Watermark = w
+		cfg.Seed = o.Seed
+		c := core.New(cfg)
+		g := workload.MustNew("Financial1", o.Scale, o.Seed+29)
+		var reads, misses int64
+		for i := 0; i < requests; i++ {
+			r := g.Next()
+			r.Expand(func(lba int64) {
+				if r.Op == trace.OpWrite {
+					c.Write(lba)
+					return
+				}
+				reads++
+				if !c.Read(lba).Hit {
+					misses++
+					c.Insert(lba)
+				}
+			})
+		}
+		miss := 0.0
+		if reads > 0 {
+			miss = float64(misses) / float64(reads)
+		}
+		st := c.Stats()
+		t.AddRow(w, miss, st.GCRuns, st.GCRelocations,
+			float64(st.GCTime)/float64(sim.Millisecond))
+	}
+	return t
+}
+
+func eraseSpread(c *core.Cache) (min, max int) {
+	min, max = 1<<30, 0
+	for b := 0; b < c.Blocks(); b++ {
+		e := c.EraseCount(b)
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return min, max
+}
+
+func init() { register("ablate-wearfn", ablateWearFn) }
+
+// ablateWearFn sweeps the K1/K2 weights of the FBST degree-of-wear
+// cost function (section 3.3: wear = N_erase + K1*TotalECC +
+// K2*TotalSLC, with K2 > K1 because a density switch signals far more
+// wear). The sweep shows how the weighting steers the wear-level
+// policy's choice of "newest" block once reconfiguration activity
+// accumulates.
+func ablateWearFn(o Options) *Table {
+	t := &Table{
+		ID:     "ablate-wearfn",
+		Title:  "Ablation: degree-of-wear cost function weights (K1, K2)",
+		Note:   "write-hot churn with accelerated wear; spread = max-min block erase count",
+		Header: []string{"k1", "k2", "wear_swaps", "erase_spread", "retired"},
+	}
+	requests := o.Requests
+	if requests == 0 {
+		requests = 150000
+	}
+	for _, ks := range [][2]float64{{0.5, 2}, {2, 20}, {8, 80}} {
+		cfg := core.DefaultConfig(4 << 20)
+		cfg.K1, cfg.K2 = ks[0], ks[1]
+		cfg.WearThreshold = 64
+		cfg.WearAcceleration = 200
+		cfg.Seed = o.Seed
+		c := core.New(cfg)
+		rng := sim.NewRNG(o.Seed + 53)
+		hot := int(c.CapacityPages() / 16)
+		cold := int(c.CapacityPages() * 2)
+		for i := 0; i < requests && !c.Dead(); i++ {
+			if rng.Bool(0.8) {
+				c.Write(int64(rng.Intn(hot)))
+			} else {
+				lba := int64(hot + rng.Intn(cold))
+				if !c.Read(lba).Hit {
+					c.Insert(lba)
+				}
+			}
+		}
+		min, max := eraseSpread(c)
+		t.AddRow(ks[0], ks[1], c.Stats().WearSwaps, max-min, c.Stats().RetiredBlocks)
+	}
+	return t
+}

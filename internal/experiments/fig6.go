@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"flashdc/internal/ecc"
+	"flashdc/internal/wear"
+)
+
+func init() {
+	register("fig6a", fig6a)
+	register("fig6b", fig6b)
+}
+
+// fig6a reproduces Figure 6(a): BCH decode latency on the 100MHz
+// accelerator versus the number of correctable errors, split into the
+// syndrome and Chien search components (Berlekamp is negligible and
+// was omitted from the paper's figure; it is shown here for
+// completeness).
+func fig6a(Options) *Table {
+	t := &Table{
+		ID:     "fig6a",
+		Title:  "BCH decode latency vs number of correctable errors",
+		Note:   "100MHz accelerator model with 16 parallel Chien engines; microseconds",
+		Header: []string{"t", "syndrome_us", "chien_us", "berlekamp_us", "total_us"},
+	}
+	l := ecc.DefaultLatencyModel()
+	for s := ecc.Strength(2); s <= 11; s++ {
+		t.AddRow(int(s),
+			l.SyndromeLatency(s).Microseconds(),
+			l.ChienLatency(s).Microseconds(),
+			l.BerlekampLatency(s).Microseconds(),
+			l.DecodeLatency(s).Microseconds())
+	}
+	return t
+}
+
+// fig6b reproduces Figure 6(b): maximum tolerable write/erase cycles
+// versus ECC code strength, for page-to-page oxide spreads of 0, 5, 10
+// and 20 percent of the mean.
+func fig6b(Options) *Table {
+	t := &Table{
+		ID:     "fig6b",
+		Title:  "Max tolerable W/E cycles vs ECC code strength",
+		Note:   "exponential wear-out model, SLC mode; first failure anchored at 1e5 cycles",
+		Header: []string{"t", "stdev=0", "stdev=5%", "stdev=10%", "stdev=20%"},
+	}
+	m := wear.NewModel()
+	for tc := 0; tc <= 10; tc++ {
+		t.AddRow(tc,
+			m.MaxTolerableCycles(tc, 0, wear.SLC),
+			m.MaxTolerableCycles(tc, 0.05, wear.SLC),
+			m.MaxTolerableCycles(tc, 0.10, wear.SLC),
+			m.MaxTolerableCycles(tc, 0.20, wear.SLC))
+	}
+	return t
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// RunSeeds executes an experiment under n different seeds and merges
+// the tables: numeric cells become "mean±stddev" (or just the mean
+// when the spread is negligible), non-numeric cells must agree across
+// runs. It gives the noisier figures (miss rates, lifetimes) error
+// bars without changing any experiment's code.
+func RunSeeds(id string, o Options, n int) (*Table, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("experiments: need at least one seed, got %d", n)
+	}
+	tabs := make([]*Table, n)
+	for i := 0; i < n; i++ {
+		oi := o
+		oi.Seed = o.Seed + uint64(i)
+		t, err := Run(id, oi)
+		if err != nil {
+			return nil, err
+		}
+		tabs[i] = t
+	}
+	return mergeTables(tabs)
+}
+
+func mergeTables(tabs []*Table) (*Table, error) {
+	base := tabs[0]
+	for _, t := range tabs[1:] {
+		if len(t.Rows) != len(base.Rows) {
+			return nil, fmt.Errorf("experiments: %s row counts differ across seeds (%d vs %d)",
+				base.ID, len(t.Rows), len(base.Rows))
+		}
+	}
+	out := &Table{
+		ID:     base.ID,
+		Title:  base.Title,
+		Note:   fmt.Sprintf("%s [mean over %d seeds]", base.Note, len(tabs)),
+		Header: base.Header,
+	}
+	for r := range base.Rows {
+		row := make([]string, len(base.Rows[r]))
+		for c := range base.Rows[r] {
+			row[c] = mergeCell(tabs, r, c)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// mergeCell averages a cell across seed runs; non-numeric cells pass
+// through from the first run (labels are seed-independent).
+func mergeCell(tabs []*Table, r, c int) string {
+	var vals []float64
+	for _, t := range tabs {
+		if r >= len(t.Rows) || c >= len(t.Rows[r]) {
+			return tabs[0].Rows[r][c]
+		}
+		v, err := strconv.ParseFloat(t.Rows[r][c], 64)
+		if err != nil {
+			return tabs[0].Rows[r][c]
+		}
+		vals = append(vals, v)
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	if len(vals) == 1 {
+		return formatFloat(mean)
+	}
+	variance := 0.0
+	for _, v := range vals {
+		variance += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(variance / float64(len(vals)-1))
+	if mean != 0 && math.Abs(sd/mean) < 0.005 || sd == 0 {
+		return formatFloat(mean)
+	}
+	return formatFloat(mean) + "±" + formatFloat(sd)
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Chart renders one numeric column of the table as a horizontal ASCII
+// bar chart, labelled by the first column — a terminal rendition of
+// the paper figure the table reproduces. Non-numeric cells are
+// skipped. width is the maximum bar length in characters (default 48
+// when <= 0).
+func (t *Table) Chart(col int, width int) string {
+	if col <= 0 || col >= len(t.Header) {
+		return fmt.Sprintf("(no numeric column %d in %s)\n", col, t.ID)
+	}
+	if width <= 0 {
+		width = 48
+	}
+	type bar struct {
+		label string
+		value float64
+	}
+	var bars []bar
+	maxVal := 0.0
+	labelW := 0
+	for _, row := range t.Rows {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		label := row[0]
+		if len(row) > 1 && col != 1 {
+			// Include a secondary key when charting deeper columns of
+			// multi-key tables (e.g. fig7's workload + area).
+			label = row[0]
+		}
+		bars = append(bars, bar{label: label, value: v})
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(label) > labelW {
+			labelW = len(label)
+		}
+	}
+	if len(bars) == 0 || maxVal <= 0 {
+		return fmt.Sprintf("(column %q of %s has no positive data)\n", t.Header[col], t.ID)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Header[col])
+	for _, bar := range bars {
+		n := int(bar.value / maxVal * float64(width))
+		if n == 0 && bar.value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %s\n", labelW, bar.label,
+			strings.Repeat("#", n), formatFloat(bar.value))
+	}
+	return b.String()
+}
+
+// DefaultChartColumn picks the most figure-like column to chart: the
+// last numeric column, which by convention holds the table's headline
+// series.
+func (t *Table) DefaultChartColumn() int {
+	for col := len(t.Header) - 1; col >= 1; col-- {
+		for _, row := range t.Rows {
+			if _, err := strconv.ParseFloat(row[col], 64); err == nil {
+				return col
+			}
+		}
+	}
+	return 1
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+// TestAllExperimentsQuick executes every registered experiment at the
+// quick scale and sanity-checks the output tables.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab := MustRun(id, QuickOptions())
+			if tab.ID != id {
+				t.Fatalf("table ID %q, want %q", tab.ID, id)
+			}
+			if len(tab.Header) == 0 || len(tab.Rows) == 0 {
+				t.Fatalf("experiment %s produced an empty table", id)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Fatalf("%s: row width %d != header %d", id, len(row), len(tab.Header))
+				}
+			}
+			if tab.String() == "" {
+				t.Fatal("empty rendering")
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flashdc/internal/disk"
+	"flashdc/internal/dram"
+	"flashdc/internal/nand"
+	"flashdc/internal/power"
+	"flashdc/internal/wear"
+	"flashdc/internal/workload"
+)
+
+func init() {
+	register("table1", table1)
+	register("table2", table2)
+	register("table3", table3)
+	register("table4", table4)
+}
+
+// table1 reprints the ITRS 2007 roadmap rows the model constants are
+// anchored to.
+func table1(Options) *Table {
+	t := &Table{
+		ID:     "table1",
+		Title:  "ITRS 2007 roadmap for memory technology",
+		Note:   "static reference data; the 2007 column feeds the density and endurance constants used throughout",
+		Header: []string{"metric", "2007", "2009", "2011", "2013", "2015"},
+	}
+	t.AddRow("NAND Flash-SLC (um^2/bit)", "0.0130", "0.0081", "0.0052", "0.0031", "0.0021")
+	t.AddRow("NAND Flash-MLC (um^2/bit)", "0.0065", "0.0041", "0.0013", "0.0008", "0.0005")
+	t.AddRow("DRAM cell density (um^2/bit)", "0.0324", "0.0153", "0.0096", "0.0061", "0.0038")
+	t.AddRow("Flash W/E cycles SLC/MLC", "1e5/1e4", "1e5/1e4", "1e6/1e4", "1e6/1e4", "1e6/1e4")
+	t.AddRow("Flash data retention (years)", "10-20", "10-20", "10-20", "20", "20")
+	t.AddRow("model constants in use",
+		fmt.Sprintf("SLC endurance %d", wear.EnduranceSLC),
+		fmt.Sprintf("MLC endurance %d", wear.EnduranceMLC),
+		fmt.Sprintf("retention %dy", wear.DataRetentionYears), "", "")
+	return t
+}
+
+// table2 reprints the device constants wired into the models.
+func table2(Options) *Table {
+	t := &Table{
+		ID:     "table2",
+		Title:  "Performance and power for DRAM, NAND Flash and HDD",
+		Note:   "values as wired into internal/dram, internal/nand, internal/power and internal/disk",
+		Header: []string{"device", "active power", "idle power", "read", "write", "erase"},
+	}
+	tm := nand.DefaultTiming()
+	dc := disk.DefaultConfig()
+	t.AddRow("1Gb DDR2 DRAM (per DIMM)",
+		fmt.Sprintf("%.0fmW", dram.ActivePowerWatts*1000),
+		fmt.Sprintf("%.0fmW", dram.IdlePowerWatts*1000),
+		dram.AccessLatency.String(), dram.AccessLatency.String(), "n/a")
+	t.AddRow("1Gb NAND SLC",
+		fmt.Sprintf("%.0fmW", power.FlashActiveWatts*1000),
+		fmt.Sprintf("%.0fuW", power.FlashIdleWatts*1e6),
+		tm.ReadSLC.String(), tm.WriteSLC.String(), tm.EraseSLC.String())
+	t.AddRow("4Gb NAND MLC", "27mW", "6uW",
+		tm.ReadMLC.String(), tm.WriteMLC.String(), tm.EraseMLC.String())
+	t.AddRow("HDD",
+		fmt.Sprintf("%.1fW", dc.ActivePower),
+		fmt.Sprintf("%.2fW", dc.IdlePower),
+		dc.ReadLatency.String(), dc.WriteLatency.String(), "n/a")
+	return t
+}
+
+// table3 prints the simulation configuration actually in force.
+func table3(o Options) *Table {
+	t := &Table{
+		ID:     "table3",
+		Title:  "Configuration parameters",
+		Note:   fmt.Sprintf("capacities shown at paper scale; experiments run at scale %.4g", o.Scale),
+		Header: []string{"parameter", "value"},
+	}
+	t.AddRow("processor", "8 cores, single issue in-order, 1GHz (server model)")
+	t.AddRow("DRAM", "128-512MB (1-4 DIMMs)")
+	t.AddRow("NAND Flash", "256MB-2GB, dual-mode SLC/MLC")
+	t.AddRow("flash read latency", fmt.Sprintf("%v (SLC) / %v (MLC)", nand.DefaultTiming().ReadSLC, nand.DefaultTiming().ReadMLC))
+	t.AddRow("flash write latency", fmt.Sprintf("%v (SLC) / %v (MLC)", nand.DefaultTiming().WriteSLC, nand.DefaultTiming().WriteMLC))
+	t.AddRow("flash erase latency", fmt.Sprintf("%v (SLC) / %v (MLC)", nand.DefaultTiming().EraseSLC, nand.DefaultTiming().EraseMLC))
+	t.AddRow("BCH decode latency", "58us-400us envelope (see fig6a)")
+	t.AddRow("IDE disk", disk.DefaultConfig().ReadLatency.String()+" average access")
+	t.AddRow("page size", "2KB data + 64B spare")
+	t.AddRow("block size", "64 SLC pages / 128 MLC pages")
+	return t
+}
+
+// table4 lists the benchmark catalog with realised characteristics.
+func table4(o Options) *Table {
+	t := &Table{
+		ID:     "table4",
+		Title:  "Benchmark descriptions",
+		Note:   "macro workloads are synthetic equivalents of the paper's traces (see DESIGN.md section 3)",
+		Header: []string{"name", "type", "footprint", "write fraction", "description"},
+	}
+	for _, s := range workload.Catalog {
+		t.AddRow(s.Name, s.Kind,
+			fmt.Sprintf("%dMB", s.FootprintBytes>>20),
+			s.WriteFraction, s.Description)
+	}
+	return t
+}

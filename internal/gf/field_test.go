@@ -1,0 +1,158 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFieldBounds(t *testing.T) {
+	for _, m := range []int{1, 16, 0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewField(%d) did not panic", m)
+				}
+			}()
+			NewField(m)
+		}()
+	}
+}
+
+func TestFieldTablesConsistent(t *testing.T) {
+	for m := 2; m <= MaxM; m++ {
+		f := NewField(m)
+		if f.M() != m || f.N() != 1<<m-1 {
+			t.Fatalf("m=%d: M/N wrong", m)
+		}
+		// exp and log must be inverse bijections.
+		seen := make(map[uint16]bool)
+		for i := 0; i < f.N(); i++ {
+			v := f.Exp(i)
+			if v == 0 {
+				t.Fatalf("m=%d: alpha^%d = 0", m, i)
+			}
+			if seen[v] {
+				t.Fatalf("m=%d: alpha^%d repeats element %d", m, i, v)
+			}
+			seen[v] = true
+			if f.Log(v) != i {
+				t.Fatalf("m=%d: Log(Exp(%d)) = %d", m, i, f.Log(v))
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsGF256(t *testing.T) {
+	f := NewField(8)
+	n := uint16(255)
+	// Exhaustive over a small field: associativity and distributivity
+	// on a strided sample, identity and inverse exhaustively.
+	for a := uint16(0); a <= n; a++ {
+		if f.Mul(a, 1) != a {
+			t.Fatalf("a*1 != a for a=%d", a)
+		}
+		if f.Mul(a, 0) != 0 {
+			t.Fatalf("a*0 != 0 for a=%d", a)
+		}
+		if a != 0 {
+			if f.Mul(a, f.Inv(a)) != 1 {
+				t.Fatalf("a * a^-1 != 1 for a=%d", a)
+			}
+		}
+	}
+	for a := uint16(1); a <= n; a += 7 {
+		for b := uint16(1); b <= n; b += 11 {
+			if f.Mul(a, b) != f.Mul(b, a) {
+				t.Fatalf("commutativity fails at %d,%d", a, b)
+			}
+			for c := uint16(0); c <= n; c += 31 {
+				if f.Mul(a, Add(b, c)) != Add(f.Mul(a, b), f.Mul(a, c)) {
+					t.Fatalf("distributivity fails at %d,%d,%d", a, b, c)
+				}
+				if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+					t.Fatalf("associativity fails at %d,%d,%d", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestFieldDivPow(t *testing.T) {
+	f := NewField(10)
+	fQuick := func(aRaw, bRaw uint16) bool {
+		a := aRaw % 1024
+		b := bRaw%1023 + 1 // non-zero
+		return f.Mul(f.Div(a, b), b) == a
+	}
+	if err := quick.Check(fQuick, nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Pow(0, 0) != 1 || f.Pow(0, 5) != 0 {
+		t.Fatal("Pow with zero base wrong")
+	}
+	a := f.Exp(7)
+	if f.Pow(a, 3) != f.Mul(a, f.Mul(a, a)) {
+		t.Fatal("Pow disagrees with repeated Mul")
+	}
+}
+
+func TestFieldZeroOperandsPanic(t *testing.T) {
+	f := NewField(4)
+	for _, fn := range []func(){
+		func() { f.Inv(0) },
+		func() { f.Div(3, 0) },
+		func() { f.Log(0) },
+		func() { f.Pow(2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("zero/invalid operand did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestExpPeriodicity(t *testing.T) {
+	f := NewField(6)
+	for i := -130; i < 130; i++ {
+		if f.Exp(i) != f.Exp(i+f.N()) {
+			t.Fatalf("Exp not periodic at %d", i)
+		}
+	}
+}
+
+func TestMinPolynomialHasRoot(t *testing.T) {
+	f := NewField(8)
+	for i := 1; i <= 9; i += 2 {
+		mp := f.MinPolynomial(i)
+		// Evaluate the GF(2) polynomial at alpha^i inside GF(2^m):
+		// every coefficient is 0 or 1 so Horner with field ops works.
+		var acc uint16
+		x := f.Exp(i)
+		for d := mp.Degree(); d >= 0; d-- {
+			acc = f.Mul(acc, x) ^ uint16(mp.Bit(d))
+		}
+		if acc != 0 {
+			t.Fatalf("minimal polynomial of alpha^%d does not vanish there", i)
+		}
+		// Degree divides m.
+		if d := mp.Degree(); 8%d != 0 && d != 8 {
+			// coset size always divides m
+			t.Fatalf("minimal polynomial degree %d does not divide m", d)
+		}
+	}
+}
+
+func TestMinPolynomialAlphaIsPrimitive(t *testing.T) {
+	for m := 2; m <= 12; m++ {
+		f := NewField(m)
+		mp := f.MinPolynomial(1)
+		want := Poly2FromUint32(primitivePoly[m])
+		if !mp.Equal(want) {
+			t.Fatalf("m=%d: minimal polynomial of alpha = %v, want %v", m, mp, want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPoly2Basics(t *testing.T) {
+	var p Poly2
+	if !p.IsZero() || p.Degree() != -1 {
+		t.Fatal("zero value not the zero polynomial")
+	}
+	p.SetBit(0)
+	p.SetBit(70)
+	if p.Degree() != 70 || p.Bit(0) != 1 || p.Bit(70) != 1 || p.Bit(35) != 0 {
+		t.Fatalf("SetBit/Bit/Degree wrong: %v", p)
+	}
+	if p.String() != "x^70 + 1" {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+func TestPoly2MulKnown(t *testing.T) {
+	// (x+1)(x+1) = x^2+1 over GF(2)
+	a := Poly2FromUint32(0b11)
+	got := a.Mul(a)
+	if !got.Equal(Poly2FromUint32(0b101)) {
+		t.Fatalf("(x+1)^2 = %v, want x^2 + 1", got)
+	}
+	// (x^2+x+1)(x+1) = x^3+1
+	b := Poly2FromUint32(0b111).Mul(Poly2FromUint32(0b11))
+	if !b.Equal(Poly2FromUint32(0b1001)) {
+		t.Fatalf("got %v, want x^3 + 1", b)
+	}
+}
+
+func TestPoly2MulCrossesWordBoundary(t *testing.T) {
+	a := NewPoly2(63)
+	a.SetBit(63)
+	a.SetBit(0)
+	b := Poly2FromUint32(0b11) // x + 1
+	got := a.Mul(b)
+	want := NewPoly2(64)
+	for _, i := range []int{64, 63, 1, 0} {
+		want.SetBit(i)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("cross-word Mul = %v, want %v", got, want)
+	}
+}
+
+func TestPoly2ModProperties(t *testing.T) {
+	f := func(aBits, bBits uint32) bool {
+		b := Poly2FromUint32(bBits)
+		if b.IsZero() {
+			return true
+		}
+		a := Poly2FromUint32(aBits)
+		r := a.Mod(b)
+		if !(r.Degree() < b.Degree()) {
+			return false
+		}
+		// a mod b == (a + q*b) mod b; check a - r is divisible by b
+		// indirectly: (a xor r) mod b == 0.
+		diff := a.Clone()
+		diff.Xor(r)
+		return diff.Mod(b).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoly2ModByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mod by zero did not panic")
+		}
+	}()
+	Poly2FromUint32(5).Mod(Poly2{})
+}
+
+func TestPoly2XorIsInvolution(t *testing.T) {
+	f := func(aBits, bBits uint32) bool {
+		a := Poly2FromUint32(aBits)
+		b := Poly2FromUint32(bBits)
+		c := a.Clone()
+		c.Xor(b)
+		c.Xor(b)
+		return c.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyDegAndTrim(t *testing.T) {
+	p := Poly{1, 0, 3, 0, 0}
+	if p.Deg() != 2 {
+		t.Fatalf("Deg = %d, want 2", p.Deg())
+	}
+	if got := p.Trim(); len(got) != 3 {
+		t.Fatalf("Trim len = %d, want 3", len(got))
+	}
+	if Poly(nil).Deg() != -1 || (Poly{0, 0}).Deg() != -1 {
+		t.Fatal("zero polynomial degree wrong")
+	}
+}
+
+func TestPolyEvalMatchesMul(t *testing.T) {
+	f := NewField(8)
+	// p(x) = (x + a)(x + b) must vanish at a and b.
+	a, b := f.Exp(10), f.Exp(100)
+	p := f.MulPoly(Poly{a, 1}, Poly{b, 1})
+	if f.Eval(p, a) != 0 || f.Eval(p, b) != 0 {
+		t.Fatal("product polynomial does not vanish at its roots")
+	}
+	if f.Eval(p, f.Exp(5)) == 0 {
+		t.Fatal("polynomial vanishes at a non-root")
+	}
+}
+
+func TestMulPolyDistributes(t *testing.T) {
+	f := NewField(6)
+	check := func(aSeed, bSeed, cSeed uint16) bool {
+		mask := uint16(63)
+		a := Poly{aSeed & mask, (aSeed >> 6) & mask, 1}
+		b := Poly{bSeed & mask, (bSeed >> 6) & mask}
+		c := Poly{cSeed & mask, (cSeed >> 6) & mask}
+		left := f.MulPoly(a, AddPoly(b, c))
+		right := AddPoly(f.MulPoly(a, b), f.MulPoly(a, c))
+		if left.Deg() != right.Deg() {
+			return false
+		}
+		for i := 0; i <= left.Deg(); i++ {
+			if left[i] != right[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalePoly(t *testing.T) {
+	f := NewField(8)
+	p := Poly{1, 2, 3}
+	c := f.Exp(9)
+	got := f.ScalePoly(c, p)
+	for i := range p {
+		if got[i] != f.Mul(c, p[i]) {
+			t.Fatalf("ScalePoly[%d] wrong", i)
+		}
+	}
+}
+
+func TestFormalDerivative(t *testing.T) {
+	// d/dx (c0 + c1 x + c2 x^2 + c3 x^3) = c1 + c3 x^2 over GF(2^m).
+	p := Poly{5, 7, 9, 11}
+	d := FormalDerivative(p)
+	want := Poly{7, 0, 11}
+	if len(d) != 3 || d[0] != want[0] || d[1] != want[1] || d[2] != want[2] {
+		t.Fatalf("FormalDerivative = %v, want %v", d, want)
+	}
+	if FormalDerivative(Poly{3}) != nil {
+		t.Fatal("derivative of constant should be nil")
+	}
+}

@@ -1,0 +1,297 @@
+// Package hier assembles the full memory hierarchy of paper Figure 2
+// and drives it trace-style: a DRAM primary disk cache (PDC) in front
+// of either the disk alone (the DRAM-only baseline, left side of the
+// figure) or the Flash secondary disk cache plus disk (the proposed
+// architecture, right side). It implements the access flows of section
+// 5.1 and produces the latency, power and bandwidth numbers behind
+// Figures 9 and 10.
+package hier
+
+import (
+	"fmt"
+
+	"flashdc/internal/core"
+	"flashdc/internal/disk"
+	"flashdc/internal/dram"
+	"flashdc/internal/nand"
+	"flashdc/internal/power"
+	"flashdc/internal/sim"
+	"flashdc/internal/trace"
+)
+
+// Config sizes the hierarchy.
+type Config struct {
+	// DRAMBytes is the primary disk cache size (Table 3: 128-512MB).
+	DRAMBytes int64
+	// FlashBytes is the Flash secondary disk cache size; 0 builds the
+	// DRAM-only baseline.
+	FlashBytes int64
+	// Flash tunes the Flash cache; zero value takes
+	// core.DefaultConfig(FlashBytes).
+	Flash core.Config
+	// Disk overrides the drive model; zero value is Table 3.
+	Disk disk.Config
+	// ReadAhead is the number of pages prefetched into the PDC when a
+	// sequential read stream is detected (the OS page-cache readahead
+	// behaviour); 0 disables prefetching.
+	ReadAhead int
+	// FlashContention makes background Flash work (GC) delay
+	// colliding foreground reads, surfacing the Figure 1(b) overhead
+	// in request latency instead of only in power/time accounting.
+	FlashContention bool
+	// PDCPolicy selects the primary disk cache replacement policy
+	// (default strict LRU; real OS page caches approximate it with
+	// the clock algorithm).
+	PDCPolicy dram.Policy
+	// Seed drives the Flash wear sampling.
+	Seed uint64
+}
+
+// Stats aggregates hierarchy-level behaviour.
+type Stats struct {
+	Requests   int64
+	ReadPages  int64
+	WritePages int64
+	PDCHits    int64
+	FlashHits  int64
+	DiskReads  int64
+	// Prefetched counts pages pulled into the PDC by readahead.
+	Prefetched   int64
+	TotalLatency sim.Duration
+}
+
+// AvgLatency returns mean foreground latency per page access.
+func (s Stats) AvgLatency() sim.Duration {
+	n := s.ReadPages + s.WritePages
+	if n == 0 {
+		return 0
+	}
+	return sim.Duration(int64(s.TotalLatency) / n)
+}
+
+// System is an assembled hierarchy. Not safe for concurrent use.
+type System struct {
+	cfg   Config
+	clock sim.Clock
+	pdc   *dram.Cache
+	flash *core.Cache // nil in the DRAM-only baseline
+	disk  *disk.Disk
+	stats Stats
+	// latencies records per-page foreground latency for percentile
+	// reporting.
+	latencies sim.Histogram
+	// lastRead and streak detect sequential read runs for readahead.
+	lastRead int64
+	streak   int
+}
+
+// diskBacking adapts the drive to the Flash cache's Backing interface.
+type diskBacking struct{ d *disk.Disk }
+
+func (b diskBacking) WritePage(int64) sim.Duration { return b.d.Write() }
+
+// New assembles a hierarchy.
+func New(cfg Config) *System {
+	if cfg.DRAMBytes < dram.PageSize {
+		panic(fmt.Sprintf("hier: DRAM %d bytes too small", cfg.DRAMBytes))
+	}
+	s := &System{
+		cfg:  cfg,
+		pdc:  dram.NewCacheWithPolicy(cfg.DRAMBytes, cfg.PDCPolicy),
+		disk: disk.New(cfg.Disk),
+	}
+	if cfg.FlashBytes > 0 {
+		fc := cfg.Flash
+		if fc == (core.Config{}) {
+			fc = core.DefaultConfig(cfg.FlashBytes)
+		}
+		fc.FlashBytes = cfg.FlashBytes
+		fc.Seed = cfg.Seed
+		fc.Backing = diskBacking{s.disk}
+		fc.MissPenalty = s.disk.Config().ReadLatency
+		s.flash = core.New(fc)
+		if cfg.FlashContention {
+			s.flash.AttachClock(&s.clock)
+		}
+	}
+	return s
+}
+
+// Flash exposes the Flash cache, or nil for the DRAM-only baseline.
+func (s *System) Flash() *core.Cache { return s.flash }
+
+// Stats returns a copy of the hierarchy counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Now returns accumulated foreground service time.
+func (s *System) Now() sim.Time { return s.clock.Now() }
+
+// Handle services one request, returning its foreground latency and
+// advancing the internal clock by it.
+func (s *System) Handle(req trace.Request) sim.Duration {
+	s.stats.Requests++
+	var total sim.Duration
+	req.Expand(func(lba int64) {
+		var lat sim.Duration
+		if req.Op == trace.OpRead {
+			s.stats.ReadPages++
+			lat = s.readPage(lba)
+		} else {
+			s.stats.WritePages++
+			lat = s.writePage(lba)
+		}
+		s.latencies.Observe(lat)
+		total += lat
+	})
+	s.clock.Advance(total)
+	s.stats.TotalLatency += total
+	return total
+}
+
+// readPage follows section 5.1: PDC, then FCHT/Flash, then disk (with
+// fills on the way back). Sequential streams trigger readahead.
+func (s *System) readPage(lba int64) sim.Duration {
+	if lba == s.lastRead+1 {
+		s.streak++
+	} else {
+		s.streak = 0
+	}
+	s.lastRead = lba
+	if s.cfg.ReadAhead > 0 && s.streak >= 2 {
+		s.prefetch(lba+1, s.cfg.ReadAhead)
+	}
+	if hit, lat := s.pdc.Read(lba); hit {
+		s.stats.PDCHits++
+		return lat
+	}
+	var lat sim.Duration
+	if s.flash != nil {
+		out := s.flash.Read(lba)
+		if out.Hit {
+			s.stats.FlashHits++
+			lat = out.Latency
+		} else {
+			s.stats.DiskReads++
+			lat = s.disk.Read()
+			s.flash.Insert(lba) // background fill
+		}
+	} else {
+		s.stats.DiskReads++
+		lat = s.disk.Read()
+	}
+	fillLat, ev := s.pdc.Fill(lba)
+	lat += fillLat
+	s.writeback(ev)
+	return lat
+}
+
+// prefetch pulls up to n consecutive pages into the PDC from the
+// lower levels, off the critical path (background time only).
+func (s *System) prefetch(start int64, n int) {
+	for lba := start; lba < start+int64(n); lba++ {
+		if hit, _ := s.pdc.Read(lba); hit {
+			continue
+		}
+		if s.flash != nil {
+			if out := s.flash.Read(lba); !out.Hit {
+				s.stats.DiskReads++
+				s.disk.Read()
+				s.flash.Insert(lba)
+			}
+		} else {
+			s.stats.DiskReads++
+			s.disk.Read()
+		}
+		_, ev := s.pdc.Fill(lba)
+		s.writeback(ev)
+		s.stats.Prefetched++
+	}
+}
+
+// writePage dirties the page in the PDC; write-back to Flash/disk
+// happens on eviction (the paper's periodic flush behaviour).
+func (s *System) writePage(lba int64) sim.Duration {
+	lat, ev := s.pdc.Write(lba)
+	s.writeback(ev)
+	return lat
+}
+
+// writeback pushes an evicted dirty PDC page down a level
+// (background; not added to foreground latency).
+func (s *System) writeback(ev *dram.Evicted) {
+	if ev == nil || !ev.Dirty {
+		return
+	}
+	if s.flash != nil {
+		s.flash.Write(ev.LBA)
+		return
+	}
+	s.disk.Write()
+}
+
+// Drain flushes all dirty state to disk (end of run).
+func (s *System) Drain() {
+	for _, lba := range s.pdc.DirtyPages() {
+		if s.flash != nil {
+			s.flash.Write(lba)
+		} else {
+			s.disk.Write()
+		}
+		s.pdc.Clean(lba)
+	}
+	if s.flash != nil {
+		s.flash.Flush()
+	}
+}
+
+// Power returns the average power breakdown over the given wall-clock
+// interval (typically the closed-loop elapsed time from the server
+// model, which exceeds pure service time).
+func (s *System) Power(elapsed sim.Duration) power.Breakdown {
+	return s.PowerWithAppTraffic(elapsed, 0)
+}
+
+// PowerWithAppTraffic is Power with extra application-side DRAM
+// accesses folded in (split 3:1 read:write), modelling the CPU memory
+// traffic a full-system simulation would add on top of the disk-cache
+// traffic.
+func (s *System) PowerWithAppTraffic(elapsed sim.Duration, appAccesses int64) power.Breakdown {
+	dst := s.pdc.Stats()
+	dst.Reads += appAccesses * 3 / 4
+	dst.Writes += appAccesses / 4
+	return power.Account(elapsed,
+		s.cfg.DRAMBytes, dst,
+		s.cfg.FlashBytes, s.flashStats(),
+		s.disk.Stats(), s.disk.Config())
+}
+
+// DiskBusy returns the drive's accumulated busy time.
+func (s *System) DiskBusy() sim.Duration { return s.disk.Stats().BusyTime }
+
+// FlashBusy returns the Flash device's accumulated busy time (zero in
+// the DRAM-only baseline).
+func (s *System) FlashBusy() sim.Duration { return s.flashStats().BusyTime() }
+
+func (s *System) flashStats() (st nand.Stats) {
+	if s.flash != nil {
+		return s.flash.DeviceStats()
+	}
+	return st
+}
+
+// Latencies exposes the per-page latency distribution (percentiles).
+func (s *System) Latencies() *sim.Histogram { return &s.latencies }
+
+// ResetStats zeroes all activity counters after a warmup phase so
+// steady-state power and latency can be measured; cache contents and
+// Flash wear are untouched.
+func (s *System) ResetStats() {
+	s.stats = Stats{}
+	s.latencies = sim.Histogram{}
+	s.pdc.ResetStats()
+	s.disk.ResetStats()
+	if s.flash != nil {
+		s.flash.ResetDeviceStats()
+	}
+	s.clock = sim.Clock{}
+}

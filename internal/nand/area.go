@@ -1,0 +1,36 @@
+package nand
+
+// DieAreaModel converts between Flash capacity and silicon area,
+// calibrated against the 146mm^2 8Gb MLC 70nm part of Hara et al.
+// (paper reference [12]) that Figure 7 uses for its x-axis. The paper
+// assumes control circuitry scales linearly with the cell count, so
+// area is simply proportional to physical cells; an SLC-mode page
+// stores half the bits of the same cells.
+type DieAreaModel struct {
+	// MM2PerMLCByte is silicon area per byte stored in MLC mode.
+	MM2PerMLCByte float64
+}
+
+// DefaultDieAreaModel returns the [12]-calibrated model:
+// 146 mm^2 / 1 GiB (8Gb MLC).
+func DefaultDieAreaModel() DieAreaModel {
+	return DieAreaModel{MM2PerMLCByte: 146.0 / (1 << 30)}
+}
+
+// Area returns the die area in mm^2 for a device holding slcBytes of
+// SLC-mode capacity plus mlcBytes of MLC-mode capacity. SLC bytes cost
+// twice the area because each cell carries one bit instead of two.
+func (m DieAreaModel) Area(slcBytes, mlcBytes float64) float64 {
+	return m.MM2PerMLCByte * (2*slcBytes + mlcBytes)
+}
+
+// CapacityForArea returns the usable byte capacity of a die of the
+// given area when a fraction slcFrac of its cells operate in SLC mode.
+func (m DieAreaModel) CapacityForArea(areaMM2, slcFrac float64) float64 {
+	if slcFrac < 0 || slcFrac > 1 {
+		panic("nand: SLC fraction outside [0,1]")
+	}
+	mlcBytes := areaMM2 / m.MM2PerMLCByte // capacity if fully MLC
+	// A cell in SLC mode contributes half the bytes.
+	return mlcBytes * (1 - slcFrac/2)
+}

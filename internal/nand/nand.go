@@ -1,0 +1,403 @@
+// Package nand models a dual-mode SLC/MLC NAND Flash device with the
+// organisation of paper Figure 1(a): blocks of 64 physical page slots,
+// where each slot holds one 2KB page in SLC mode or two 2KB pages in
+// MLC mode, each page carrying a 64-byte spare area. The device
+// enforces Flash physics — program only after erase, erase whole
+// blocks, wear accumulating per write/erase cycle — and reports
+// per-read bit-error counts from the wear model so the programmable
+// controller above it (internal/core) can react.
+//
+// Payloads are opaque 64-bit tokens: the disk-cache simulator stores
+// the identity of the cached disk page, not its bytes, exactly like
+// the paper's trace-driven Flash disk cache simulator.
+package nand
+
+import (
+	"errors"
+	"fmt"
+
+	"flashdc/internal/sim"
+	"flashdc/internal/wear"
+)
+
+// PageSize is the data payload of one Flash page in bytes.
+const PageSize = 2048
+
+// SpareSize is the per-page spare area in bytes (SLC layout).
+const SpareSize = 64
+
+// SlotsPerBlock is the number of physical page slots per erase block:
+// 64 SLC pages, or 128 MLC pages, per 128KB block.
+const SlotsPerBlock = 64
+
+// Timing holds device operation latencies (Table 3).
+type Timing struct {
+	ReadSLC, ReadMLC   sim.Duration
+	WriteSLC, WriteMLC sim.Duration
+	EraseSLC, EraseMLC sim.Duration
+}
+
+// DefaultTiming returns the latencies of Table 3.
+func DefaultTiming() Timing {
+	return Timing{
+		ReadSLC:  25 * sim.Microsecond,
+		ReadMLC:  50 * sim.Microsecond,
+		WriteSLC: 200 * sim.Microsecond,
+		WriteMLC: 680 * sim.Microsecond,
+		EraseSLC: 1500 * sim.Microsecond,
+		EraseMLC: 3300 * sim.Microsecond,
+	}
+}
+
+// Read returns the read latency for a page in the given mode.
+func (t Timing) Read(m wear.Mode) sim.Duration {
+	if m == wear.SLC {
+		return t.ReadSLC
+	}
+	return t.ReadMLC
+}
+
+// Write returns the program latency for a page in the given mode.
+func (t Timing) Write(m wear.Mode) sim.Duration {
+	if m == wear.SLC {
+		return t.WriteSLC
+	}
+	return t.WriteMLC
+}
+
+// Erase returns the block erase latency given the block's dominant
+// mode.
+func (t Timing) Erase(m wear.Mode) sim.Duration {
+	if m == wear.SLC {
+		return t.EraseSLC
+	}
+	return t.EraseMLC
+}
+
+// Config describes a device instance.
+type Config struct {
+	// Blocks is the number of erase blocks.
+	Blocks int
+	// SigmaSpatial is the relative page-to-page oxide spread fed to
+	// the wear model (Figure 6(b) sweeps 0 to 0.20).
+	SigmaSpatial float64
+	// InitialMode is the density every slot starts in. The paper's
+	// design uses MLC parts that can switch pages to SLC.
+	InitialMode wear.Mode
+	// Timing overrides the operation latencies; zero value means
+	// DefaultTiming.
+	Timing Timing
+	// Seed drives wear sampling.
+	Seed uint64
+	// WearAcceleration multiplies the effective write/erase cycle
+	// count when evaluating wear, letting lifetime-to-failure
+	// experiments run in reasonable simulated volume. 0 means 1
+	// (real time).
+	WearAcceleration float64
+}
+
+// BlocksForCapacity returns the number of blocks needed to reach the
+// given byte capacity with every slot in the given mode.
+func BlocksForCapacity(bytes int64, m wear.Mode) int {
+	perBlock := int64(SlotsPerBlock) * PageSize
+	if m == wear.MLC {
+		perBlock *= 2
+	}
+	n := (bytes + perBlock - 1) / perBlock
+	return int(n)
+}
+
+// Addr identifies one page: a block, a physical slot inside it, and
+// the sub-page index (always 0 in SLC mode; 0 or 1 in MLC mode).
+type Addr struct {
+	Block int
+	Slot  int
+	Sub   int
+}
+
+// String implements fmt.Stringer.
+func (a Addr) String() string {
+	return fmt.Sprintf("b%d/s%d.%d", a.Block, a.Slot, a.Sub)
+}
+
+// Device errors.
+var (
+	ErrBadAddress     = errors.New("nand: address out of range")
+	ErrNotErased      = errors.New("nand: programming a page that is not erased")
+	ErrNotProgrammed  = errors.New("nand: reading a page that was never programmed")
+	ErrRetired        = errors.New("nand: block is retired")
+	ErrModeWhileInUse = errors.New("nand: mode change on a programmed slot")
+)
+
+type slotState struct {
+	mode       wear.Mode
+	programmed [2]bool
+	data       [2]uint64
+	wear       *wear.PageWear
+	// payload holds real page contents when ProgramPage is used;
+	// nil for token-only (trace-driven) pages.
+	payload *[2]PageBuf
+}
+
+type blockState struct {
+	slots      []slotState
+	eraseCount int
+	retired    bool
+}
+
+// Stats counts device operations and accumulated busy time, the raw
+// material for the power model.
+type Stats struct {
+	Reads, Programs, Erases int64
+	ReadTime                sim.Duration
+	ProgramTime             sim.Duration
+	EraseTime               sim.Duration
+}
+
+// BusyTime returns the total time the device spent active.
+func (s Stats) BusyTime() sim.Duration {
+	return s.ReadTime + s.ProgramTime + s.EraseTime
+}
+
+// Device is a dual-mode NAND Flash chip. It is not safe for concurrent
+// use; the simulators drive it from a single goroutine.
+type Device struct {
+	cfg    Config
+	model  *wear.Model
+	blocks []blockState
+	stats  Stats
+}
+
+// New builds a device. It panics if the configuration is degenerate;
+// sizing a device is a programming decision in the simulators.
+func New(cfg Config) *Device {
+	if cfg.Blocks <= 0 {
+		panic("nand: device needs at least one block")
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DefaultTiming()
+	}
+	if cfg.WearAcceleration == 0 {
+		cfg.WearAcceleration = 1
+	}
+	if cfg.WearAcceleration < 0 {
+		panic("nand: negative wear acceleration")
+	}
+	d := &Device{
+		cfg:    cfg,
+		model:  wear.NewModel(),
+		blocks: make([]blockState, cfg.Blocks),
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	for b := range d.blocks {
+		slots := make([]slotState, SlotsPerBlock)
+		for s := range slots {
+			slots[s] = slotState{
+				mode: cfg.InitialMode,
+				wear: d.model.NewPageWear(rng, cfg.SigmaSpatial),
+			}
+		}
+		d.blocks[b].slots = slots
+	}
+	return d
+}
+
+// Blocks returns the number of erase blocks.
+func (d *Device) Blocks() int { return len(d.blocks) }
+
+// Stats returns a copy of the operation counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// WearModel exposes the underlying reliability model (shared with the
+// controller's reconfiguration logic).
+func (d *Device) WearModel() *wear.Model { return d.model }
+
+func (d *Device) slot(a Addr) (*blockState, *slotState, error) {
+	if a.Block < 0 || a.Block >= len(d.blocks) || a.Slot < 0 || a.Slot >= SlotsPerBlock {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadAddress, a)
+	}
+	blk := &d.blocks[a.Block]
+	sl := &blk.slots[a.Slot]
+	maxSub := 1
+	if sl.mode == wear.MLC {
+		maxSub = 2
+	}
+	if a.Sub < 0 || a.Sub >= maxSub {
+		return nil, nil, fmt.Errorf("%w: %v in %v mode", ErrBadAddress, a, sl.mode)
+	}
+	return blk, sl, nil
+}
+
+// Mode returns the density mode of the slot containing a.
+func (d *Device) Mode(a Addr) wear.Mode {
+	_, sl, err := d.slot(Addr{Block: a.Block, Slot: a.Slot})
+	if err != nil {
+		panic(err)
+	}
+	return sl.mode
+}
+
+// EraseCount returns the number of erase cycles block b has endured.
+func (d *Device) EraseCount(b int) int {
+	return d.blocks[b].eraseCount
+}
+
+// Retired reports whether block b was permanently removed.
+func (d *Device) Retired(b int) bool { return d.blocks[b].retired }
+
+// Retire permanently removes block b from service (paper section 5.2:
+// a block at both the ECC limit and SLC mode is "removed permanently").
+func (d *Device) Retire(b int) { d.blocks[b].retired = true }
+
+// ReadResult reports the outcome of a page read before error
+// correction.
+type ReadResult struct {
+	// Data is the stored payload token.
+	Data uint64
+	// BitErrors is how many cells have worn out in this page; the
+	// controller compares it against the configured ECC strength.
+	BitErrors int
+	// Latency is the raw array access time (excludes ECC decode).
+	Latency sim.Duration
+}
+
+// Read senses one page. The payload is returned even when BitErrors is
+// high; deciding recoverability is the controller's job.
+func (d *Device) Read(a Addr) (ReadResult, error) {
+	blk, sl, err := d.slot(a)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	if blk.retired {
+		return ReadResult{}, fmt.Errorf("%w: block %d", ErrRetired, a.Block)
+	}
+	if !sl.programmed[a.Sub] {
+		return ReadResult{}, fmt.Errorf("%w: %v", ErrNotProgrammed, a)
+	}
+	lat := d.cfg.Timing.Read(sl.mode)
+	d.stats.Reads++
+	d.stats.ReadTime += lat
+	return ReadResult{
+		Data:      sl.data[a.Sub],
+		BitErrors: sl.wear.FailedBits(float64(blk.eraseCount)*d.cfg.WearAcceleration, sl.mode),
+		Latency:   lat,
+	}, nil
+}
+
+// BitErrors returns the current worn-bit count of a page without
+// performing (or charging for) a read.
+func (d *Device) BitErrors(a Addr) int {
+	blk, sl, err := d.slot(a)
+	if err != nil {
+		panic(err)
+	}
+	return sl.wear.FailedBits(float64(blk.eraseCount)*d.cfg.WearAcceleration, sl.mode)
+}
+
+// Program writes the payload token into a free (erased) page and
+// returns the program latency.
+func (d *Device) Program(a Addr, data uint64) (sim.Duration, error) {
+	blk, sl, err := d.slot(a)
+	if err != nil {
+		return 0, err
+	}
+	if blk.retired {
+		return 0, fmt.Errorf("%w: block %d", ErrRetired, a.Block)
+	}
+	if sl.programmed[a.Sub] {
+		return 0, fmt.Errorf("%w: %v", ErrNotErased, a)
+	}
+	sl.programmed[a.Sub] = true
+	sl.data[a.Sub] = data
+	lat := d.cfg.Timing.Write(sl.mode)
+	d.stats.Programs++
+	d.stats.ProgramTime += lat
+	return lat, nil
+}
+
+// Programmed reports whether page a currently holds data.
+func (d *Device) Programmed(a Addr) bool {
+	_, sl, err := d.slot(a)
+	if err != nil {
+		return false
+	}
+	return sl.programmed[a.Sub]
+}
+
+// SetMode changes the density of one slot. The slot must be erased
+// (neither sub-page programmed): the paper applies new page settings
+// "on the next erase and write access".
+func (d *Device) SetMode(block, slot int, m wear.Mode) error {
+	_, sl, err := d.slot(Addr{Block: block, Slot: slot})
+	if err != nil {
+		return err
+	}
+	if sl.programmed[0] || sl.programmed[1] {
+		return fmt.Errorf("%w: b%d/s%d", ErrModeWhileInUse, block, slot)
+	}
+	sl.mode = m
+	return nil
+}
+
+// Erase wipes block b, makes every page free again, and advances the
+// block's wear by one write/erase cycle. The latency reflects the
+// block's dominant density (MLC blocks erase slower, Table 3).
+func (d *Device) Erase(b int) (sim.Duration, error) {
+	if b < 0 || b >= len(d.blocks) {
+		return 0, fmt.Errorf("%w: block %d", ErrBadAddress, b)
+	}
+	blk := &d.blocks[b]
+	if blk.retired {
+		return 0, fmt.Errorf("%w: block %d", ErrRetired, b)
+	}
+	mode := wear.SLC
+	for i := range blk.slots {
+		sl := &blk.slots[i]
+		if sl.mode == wear.MLC {
+			mode = wear.MLC
+		}
+		sl.programmed[0] = false
+		sl.programmed[1] = false
+		sl.data[0] = 0
+		sl.data[1] = 0
+		sl.payload = nil
+	}
+	blk.eraseCount++
+	lat := d.cfg.Timing.Erase(mode)
+	d.stats.Erases++
+	d.stats.EraseTime += lat
+	return lat, nil
+}
+
+// PagesPerBlock returns how many addressable pages block b currently
+// exposes given its per-slot modes (between 64 all-SLC and 128
+// all-MLC).
+func (d *Device) PagesPerBlock(b int) int {
+	n := 0
+	for i := range d.blocks[b].slots {
+		if d.blocks[b].slots[i].mode == wear.MLC {
+			n += 2
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// CapacityBytes returns the device's current addressable payload
+// capacity across non-retired blocks, which shrinks as slots move to
+// SLC mode or blocks retire.
+func (d *Device) CapacityBytes() int64 {
+	var pages int64
+	for b := range d.blocks {
+		if d.blocks[b].retired {
+			continue
+		}
+		pages += int64(d.PagesPerBlock(b))
+	}
+	return pages * PageSize
+}
+
+// ResetStats zeroes the operation counters (e.g. after cache warmup);
+// wear state is untouched.
+func (d *Device) ResetStats() { d.stats = Stats{} }

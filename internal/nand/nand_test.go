@@ -1,0 +1,331 @@
+package nand
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flashdc/internal/sim"
+	"flashdc/internal/wear"
+)
+
+func testDevice(blocks int, mode wear.Mode) *Device {
+	return New(Config{Blocks: blocks, InitialMode: mode, Seed: 1})
+}
+
+func TestNewPanicsWithoutBlocks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with 0 blocks did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestDefaultTimingMatchesTable3(t *testing.T) {
+	tm := DefaultTiming()
+	if tm.ReadSLC != 25*sim.Microsecond || tm.ReadMLC != 50*sim.Microsecond {
+		t.Fatal("read latencies do not match Table 3")
+	}
+	if tm.WriteSLC != 200*sim.Microsecond || tm.WriteMLC != 680*sim.Microsecond {
+		t.Fatal("write latencies do not match Table 3")
+	}
+	if tm.EraseSLC != 1500*sim.Microsecond || tm.EraseMLC != 3300*sim.Microsecond {
+		t.Fatal("erase latencies do not match Table 3")
+	}
+}
+
+func TestBlocksForCapacity(t *testing.T) {
+	// One block stores 64*2KB = 128KB in SLC, 256KB in MLC.
+	if got := BlocksForCapacity(128<<10, wear.SLC); got != 1 {
+		t.Fatalf("SLC 128KB = %d blocks, want 1", got)
+	}
+	if got := BlocksForCapacity(1<<30, wear.MLC); got != 4096 {
+		t.Fatalf("MLC 1GB = %d blocks, want 4096", got)
+	}
+	if got := BlocksForCapacity(1, wear.SLC); got != 1 {
+		t.Fatalf("1 byte = %d blocks, want 1 (round up)", got)
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	d := testDevice(2, wear.SLC)
+	a := Addr{Block: 1, Slot: 3}
+	lat, err := d.Program(a, 0xDEADBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 200*sim.Microsecond {
+		t.Fatalf("SLC program latency %v", lat)
+	}
+	res, err := d.Read(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data != 0xDEADBEEF {
+		t.Fatalf("read back %x", res.Data)
+	}
+	if res.Latency != 25*sim.Microsecond {
+		t.Fatalf("SLC read latency %v", res.Latency)
+	}
+	if res.BitErrors != 0 {
+		t.Fatalf("fresh page has %d bit errors", res.BitErrors)
+	}
+}
+
+func TestWriteAfterEraseRule(t *testing.T) {
+	d := testDevice(1, wear.SLC)
+	a := Addr{Slot: 0}
+	if _, err := d.Program(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Second program without erase must fail: out-of-place writes
+	// exist precisely because of this rule.
+	if _, err := d.Program(a, 2); !errors.Is(err, ErrNotErased) {
+		t.Fatalf("double program: %v", err)
+	}
+	if _, err := d.Erase(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Program(a, 2); err != nil {
+		t.Fatalf("program after erase: %v", err)
+	}
+}
+
+func TestReadUnprogrammedFails(t *testing.T) {
+	d := testDevice(1, wear.SLC)
+	if _, err := d.Read(Addr{Slot: 5}); !errors.Is(err, ErrNotProgrammed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestEraseResetsAndCounts(t *testing.T) {
+	d := testDevice(1, wear.SLC)
+	for s := 0; s < SlotsPerBlock; s++ {
+		if _, err := d.Program(Addr{Slot: s}, uint64(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lat, err := d.Erase(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 1500*sim.Microsecond {
+		t.Fatalf("SLC erase latency %v", lat)
+	}
+	if d.EraseCount(0) != 1 {
+		t.Fatalf("erase count %d", d.EraseCount(0))
+	}
+	for s := 0; s < SlotsPerBlock; s++ {
+		if d.Programmed(Addr{Slot: s}) {
+			t.Fatalf("slot %d still programmed after erase", s)
+		}
+	}
+}
+
+func TestMLCSubPages(t *testing.T) {
+	d := testDevice(1, wear.MLC)
+	a0 := Addr{Slot: 0, Sub: 0}
+	a1 := Addr{Slot: 0, Sub: 1}
+	if _, err := d.Program(a0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Program(a1, 11); err != nil {
+		t.Fatal(err)
+	}
+	r0, _ := d.Read(a0)
+	r1, _ := d.Read(a1)
+	if r0.Data != 10 || r1.Data != 11 {
+		t.Fatal("MLC sub-pages collide")
+	}
+	if r0.Latency != 50*sim.Microsecond {
+		t.Fatalf("MLC read latency %v", r0.Latency)
+	}
+	// Sub=1 is invalid in SLC mode.
+	s := testDevice(1, wear.SLC)
+	if _, err := s.Program(Addr{Slot: 0, Sub: 1}, 1); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("SLC sub 1: %v", err)
+	}
+}
+
+func TestSetModeRules(t *testing.T) {
+	d := testDevice(1, wear.MLC)
+	if err := d.SetMode(0, 0, wear.SLC); err != nil {
+		t.Fatal(err)
+	}
+	if d.Mode(Addr{Slot: 0}) != wear.SLC {
+		t.Fatal("mode did not change")
+	}
+	if _, err := d.Program(Addr{Slot: 1, Sub: 0}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetMode(0, 1, wear.SLC); !errors.Is(err, ErrModeWhileInUse) {
+		t.Fatalf("mode change on programmed slot: %v", err)
+	}
+	if _, err := d.Erase(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetMode(0, 1, wear.SLC); err != nil {
+		t.Fatalf("mode change after erase: %v", err)
+	}
+}
+
+func TestPagesPerBlockAndCapacity(t *testing.T) {
+	d := testDevice(2, wear.MLC)
+	if got := d.PagesPerBlock(0); got != 128 {
+		t.Fatalf("all-MLC block pages = %d, want 128", got)
+	}
+	for s := 0; s < 10; s++ {
+		if err := d.SetMode(0, s, wear.SLC); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.PagesPerBlock(0); got != 118 {
+		t.Fatalf("mixed block pages = %d, want 118", got)
+	}
+	wantBytes := int64(118+128) * PageSize
+	if got := d.CapacityBytes(); got != wantBytes {
+		t.Fatalf("capacity %d, want %d", got, wantBytes)
+	}
+	d.Retire(1)
+	if got := d.CapacityBytes(); got != 118*PageSize {
+		t.Fatalf("capacity after retire %d", got)
+	}
+}
+
+func TestRetiredBlockRejectsOps(t *testing.T) {
+	d := testDevice(1, wear.SLC)
+	d.Retire(0)
+	if !d.Retired(0) {
+		t.Fatal("Retired not set")
+	}
+	if _, err := d.Program(Addr{}, 1); !errors.Is(err, ErrRetired) {
+		t.Fatalf("program on retired: %v", err)
+	}
+	if _, err := d.Erase(0); !errors.Is(err, ErrRetired) {
+		t.Fatalf("erase on retired: %v", err)
+	}
+	if _, err := d.Read(Addr{}); !errors.Is(err, ErrRetired) {
+		t.Fatalf("read on retired: %v", err)
+	}
+}
+
+func TestWearAccumulatesBitErrors(t *testing.T) {
+	d := testDevice(1, wear.MLC)
+	a := Addr{Slot: 0}
+	// Simulate heavy cycling without the O(n) erase loop: hammer
+	// erase/program.
+	var last int
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 500; j++ {
+			if _, err := d.Erase(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := d.Program(a, 1); err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Read(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BitErrors < last {
+			t.Fatal("bit errors decreased with wear")
+		}
+		last = res.BitErrors
+	}
+	if last == 0 {
+		t.Fatalf("no bit errors after %d cycles in MLC mode", d.EraseCount(0))
+	}
+	if d.BitErrors(a) != last {
+		t.Fatal("BitErrors disagrees with Read")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := testDevice(1, wear.SLC)
+	d.Program(Addr{Slot: 0}, 1)
+	d.Read(Addr{Slot: 0})
+	d.Read(Addr{Slot: 0})
+	d.Erase(0)
+	st := d.Stats()
+	if st.Programs != 1 || st.Reads != 2 || st.Erases != 1 {
+		t.Fatalf("counters %+v", st)
+	}
+	want := 200*sim.Microsecond + 2*25*sim.Microsecond + 1500*sim.Microsecond
+	if st.BusyTime() != want {
+		t.Fatalf("busy time %v, want %v", st.BusyTime(), want)
+	}
+}
+
+func TestBadAddresses(t *testing.T) {
+	d := testDevice(1, wear.SLC)
+	for _, a := range []Addr{
+		{Block: -1}, {Block: 1}, {Slot: -1}, {Slot: SlotsPerBlock}, {Sub: 1},
+	} {
+		if _, err := d.Read(a); !errors.Is(err, ErrBadAddress) {
+			t.Fatalf("Read(%v): %v", a, err)
+		}
+	}
+	if _, err := d.Erase(3); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("Erase(3): %v", err)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := (Addr{Block: 2, Slot: 7, Sub: 1}).String(); got != "b2/s7.1" {
+		t.Fatalf("Addr.String() = %q", got)
+	}
+}
+
+func TestProgramReadPropertyTokenPreserved(t *testing.T) {
+	d := testDevice(4, wear.MLC)
+	f := func(block, slot, sub uint8, token uint64) bool {
+		a := Addr{
+			Block: int(block) % 4,
+			Slot:  int(slot) % SlotsPerBlock,
+			Sub:   int(sub) % 2,
+		}
+		if d.Programmed(a) {
+			return true // skip occupied
+		}
+		if _, err := d.Program(a, token); err != nil {
+			return false
+		}
+		res, err := d.Read(a)
+		return err == nil && res.Data == token
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDieAreaModel(t *testing.T) {
+	m := DefaultDieAreaModel()
+	// 1GiB all-MLC is the [12] reference: 146 mm^2.
+	if got := m.Area(0, 1<<30); math.Abs(got-146) > 1e-9 {
+		t.Fatalf("1GiB MLC area = %v, want 146", got)
+	}
+	// SLC bytes cost twice the area.
+	if got := m.Area(1<<30, 0); math.Abs(got-292) > 1e-9 {
+		t.Fatalf("1GiB SLC area = %v, want 292", got)
+	}
+	// CapacityForArea inverts: all-MLC die of 146mm^2 holds 1GiB.
+	if got := m.CapacityForArea(146, 0); math.Abs(got-float64(1<<30)) > 1 {
+		t.Fatalf("capacity = %v", got)
+	}
+	// Full SLC halves capacity.
+	if got := m.CapacityForArea(146, 1); math.Abs(got-float64(1<<29)) > 1 {
+		t.Fatalf("SLC capacity = %v", got)
+	}
+}
+
+func TestDieAreaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad SLC fraction did not panic")
+		}
+	}()
+	DefaultDieAreaModel().CapacityForArea(100, 1.5)
+}

@@ -1,0 +1,109 @@
+// Package power turns component activity statistics into the average
+// power breakdown of paper Figure 9: system memory read, write and
+// idle power, Flash power, and disk power, integrated over simulated
+// time.
+//
+// The models follow the paper's sources: the Micron-style DRAM power
+// split (Table 2 DDR2 numbers), the Samsung NAND datasheet activity
+// power, and the Hitachi Travelstar drive envelope.
+package power
+
+import (
+	"fmt"
+
+	"flashdc/internal/disk"
+	"flashdc/internal/dram"
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+)
+
+// Flash power constants from Table 2 (1Gb SLC NAND part).
+const (
+	// FlashActiveWatts is drawn per device while reading, programming
+	// or erasing.
+	FlashActiveWatts = 0.027
+	// FlashIdleWatts is the standby draw per device.
+	FlashIdleWatts = 6e-6
+	// FlashDeviceBytes is the capacity of the datasheet part the
+	// active/idle figures describe (1Gb).
+	FlashDeviceBytes = 128 << 20
+)
+
+// Breakdown is an average-power decomposition in watts over a
+// simulation interval, the quantity Figure 9 plots.
+type Breakdown struct {
+	MemRead  float64
+	MemWrite float64
+	MemIdle  float64
+	Flash    float64
+	Disk     float64
+}
+
+// Memory returns the system-memory share (DRAM plus Flash), the
+// paper's "system memory power".
+func (b Breakdown) Memory() float64 {
+	return b.MemRead + b.MemWrite + b.MemIdle + b.Flash
+}
+
+// Total returns memory plus disk power.
+func (b Breakdown) Total() float64 { return b.Memory() + b.Disk }
+
+// String renders the breakdown compactly for reports.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("memRD=%.3fW memWR=%.3fW memIDLE=%.3fW flash=%.3fW disk=%.3fW total=%.3fW",
+		b.MemRead, b.MemWrite, b.MemIdle, b.Flash, b.Disk, b.Total())
+}
+
+// Account computes the average power breakdown over elapsed simulated
+// time. dramBytes sizes the DIMM population (idle power scales with
+// DIMMs); flashBytes is zero for a DRAM-only hierarchy. flashStats and
+// diskStats may be zero values for absent components. It panics if
+// elapsed is not positive.
+func Account(elapsed sim.Duration,
+	dramBytes int64, dramStats dram.Stats,
+	flashBytes int64, flashStats nand.Stats,
+	diskStats disk.Stats, diskCfg disk.Config) Breakdown {
+
+	if elapsed <= 0 {
+		panic("power: non-positive interval")
+	}
+	sec := elapsed.Seconds()
+
+	// Fractional DIMM counts keep scaled-down simulations comparable;
+	// at paper scale the populations are whole DIMMs anyway.
+	dimms := float64(dramBytes) / float64(dram.DIMMBytes)
+	readBusy := dramStats.ReadBusyTime().Seconds()
+	writeBusy := dramStats.WriteBusyTime().Seconds()
+	activeDelta := dram.ActivePowerWatts - dram.IdlePowerWatts
+
+	var b Breakdown
+	// The busy DIMM adds the active-minus-idle delta during accesses;
+	// idle power is paid by all DIMMs all the time.
+	b.MemRead = activeDelta * readBusy / sec
+	b.MemWrite = activeDelta * writeBusy / sec
+	b.MemIdle = dram.IdlePowerWatts * dimms
+
+	if flashBytes > 0 {
+		devices := float64(flashBytes) / float64(FlashDeviceBytes)
+		if devices < 1 {
+			devices = 1
+		}
+		busy := flashStats.BusyTime().Seconds()
+		if busy > sec {
+			busy = sec
+		}
+		// One device is active at a time; the rest idle.
+		b.Flash = (FlashActiveWatts-FlashIdleWatts)*busy/sec +
+			FlashIdleWatts*devices
+	}
+
+	diskBusy := diskStats.BusyTime.Seconds()
+	if diskBusy > sec {
+		diskBusy = sec
+	}
+	if diskCfg == (disk.Config{}) {
+		diskCfg = disk.DefaultConfig()
+	}
+	b.Disk = diskCfg.ActivePower*diskBusy/sec + diskCfg.IdlePower*(sec-diskBusy)/sec
+	return b
+}

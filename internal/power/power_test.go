@@ -1,0 +1,91 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"flashdc/internal/disk"
+	"flashdc/internal/dram"
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+)
+
+func TestAccountPanicsOnZeroInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	Account(0, 0, dram.Stats{}, 0, nand.Stats{}, disk.Stats{}, disk.Config{})
+}
+
+func TestIdleSystemBaseline(t *testing.T) {
+	b := Account(sim.Duration(10*sim.Second),
+		512<<20, dram.Stats{},
+		0, nand.Stats{},
+		disk.Stats{}, disk.DefaultConfig())
+	// 4 DIMMs idle + disk idle only.
+	if math.Abs(b.MemIdle-4*dram.IdlePowerWatts) > 1e-9 {
+		t.Fatalf("MemIdle = %v", b.MemIdle)
+	}
+	if b.MemRead != 0 || b.MemWrite != 0 || b.Flash != 0 {
+		t.Fatalf("activity power on idle system: %+v", b)
+	}
+	if math.Abs(b.Disk-disk.DefaultConfig().IdlePower) > 1e-9 {
+		t.Fatalf("Disk = %v", b.Disk)
+	}
+}
+
+func TestBusyDiskRaisesPower(t *testing.T) {
+	cfg := disk.DefaultConfig()
+	halfBusy := disk.Stats{BusyTime: sim.Duration(5 * sim.Second)}
+	b := Account(sim.Duration(10*sim.Second), 128<<20, dram.Stats{}, 0, nand.Stats{}, halfBusy, cfg)
+	want := cfg.ActivePower*0.5 + cfg.IdlePower*0.5
+	if math.Abs(b.Disk-want) > 1e-9 {
+		t.Fatalf("Disk = %v, want %v", b.Disk, want)
+	}
+}
+
+func TestMemoryActivitySplit(t *testing.T) {
+	st := dram.Stats{Reads: 1_000_000, Writes: 500_000}
+	b := Account(sim.Duration(10*sim.Second), 256<<20, st, 0, nand.Stats{}, disk.Stats{}, disk.DefaultConfig())
+	if b.MemRead <= 0 || b.MemWrite <= 0 {
+		t.Fatal("no activity power recorded")
+	}
+	if math.Abs(b.MemRead/b.MemWrite-2) > 1e-6 {
+		t.Fatalf("read/write power ratio %v, want 2", b.MemRead/b.MemWrite)
+	}
+	if b.Memory() != b.MemRead+b.MemWrite+b.MemIdle {
+		t.Fatal("Memory() inconsistent")
+	}
+}
+
+func TestFlashPowerTinyVersusDRAM(t *testing.T) {
+	// A 1GB Flash even fully busy must draw far less than the DRAM it
+	// displaces (the core claim behind Figure 9).
+	busy := nand.Stats{ReadTime: sim.Duration(10 * sim.Second)}
+	b := Account(sim.Duration(10*sim.Second), 0, dram.Stats{}, 1<<30, busy, disk.Stats{}, disk.DefaultConfig())
+	dramOnly := Account(sim.Duration(10*sim.Second), 1<<30, dram.Stats{}, 0, nand.Stats{}, disk.Stats{}, disk.DefaultConfig())
+	if b.Flash >= dramOnly.MemIdle/3 {
+		t.Fatalf("flash %vW vs dram idle %vW: flash should be >3x cheaper", b.Flash, dramOnly.MemIdle)
+	}
+}
+
+func TestBusyTimeClamped(t *testing.T) {
+	// Pathological stats (busy beyond elapsed) must not produce more
+	// than active power.
+	cfg := disk.DefaultConfig()
+	b := Account(sim.Duration(1*sim.Second), 0, dram.Stats{}, 0, nand.Stats{},
+		disk.Stats{BusyTime: sim.Duration(5 * sim.Second)}, cfg)
+	if b.Disk > cfg.ActivePower+1e-9 {
+		t.Fatalf("disk power %v exceeds active rating", b.Disk)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{MemRead: 1, MemWrite: 2, MemIdle: 3, Flash: 0.5, Disk: 1.5}
+	s := b.String()
+	if s == "" || b.Total() != 8 {
+		t.Fatalf("String/Total wrong: %q %v", s, b.Total())
+	}
+}

@@ -1,0 +1,66 @@
+// Package server converts memory-hierarchy latency into server
+// throughput (network bandwidth), the performance metric of paper
+// Figures 9 and 10. It replaces the paper's M5 full-system simulation
+// with a closed-loop worker model: each of W worker threads repeatedly
+// spends a CPU service time on a request and then blocks on the memory
+// hierarchy, so
+//
+//	bandwidth = W * bytesPerRequest / (serviceTime + avgIOLatency)
+//
+// capped by the CPU-saturated rate. This preserves exactly the
+// relationship the paper's results rely on — bandwidth tracks average
+// disk-cache access latency — without booting an operating system.
+// DESIGN.md section 3 records the substitution.
+package server
+
+import "flashdc/internal/sim"
+
+// Model is a closed-loop server.
+type Model struct {
+	// Workers is the number of concurrent request streams (the
+	// paper's platform: 8 in-order cores).
+	Workers int
+	// ServiceTime is per-request CPU time.
+	ServiceTime sim.Duration
+	// BytesPerRequest converts request rate to network bandwidth.
+	BytesPerRequest int64
+}
+
+// Default returns a model matched to the Table 3 platform: 8 cores,
+// a web/OLTP-style request costing ~100us of CPU and moving ~8KB.
+func Default() Model {
+	return Model{
+		Workers:         8,
+		ServiceTime:     100 * sim.Microsecond,
+		BytesPerRequest: 8 << 10,
+	}
+}
+
+// Throughput returns requests per second at the given average
+// I/O latency per request.
+func (m Model) Throughput(avgIO sim.Duration) float64 {
+	if m.Workers <= 0 {
+		panic("server: need at least one worker")
+	}
+	per := m.ServiceTime + avgIO
+	if per <= 0 {
+		per = m.ServiceTime
+		if per <= 0 {
+			panic("server: non-positive request time")
+		}
+	}
+	return float64(m.Workers) / per.Seconds()
+}
+
+// Bandwidth returns network bandwidth in bytes per second at the given
+// average I/O latency per request.
+func (m Model) Bandwidth(avgIO sim.Duration) float64 {
+	return m.Throughput(avgIO) * float64(m.BytesPerRequest)
+}
+
+// Elapsed returns the wall-clock time a closed-loop run of n requests
+// takes, the interval power should be averaged over.
+func (m Model) Elapsed(n int64, avgIO sim.Duration) sim.Duration {
+	per := m.ServiceTime + avgIO
+	return sim.Duration(int64(per) * n / int64(m.Workers))
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"flashdc/internal/sim"
+)
+
+func TestThroughputClosedLoop(t *testing.T) {
+	m := Model{Workers: 8, ServiceTime: 100 * sim.Microsecond, BytesPerRequest: 8192}
+	// No I/O wait: 8 workers / 100us = 80k req/s.
+	if got := m.Throughput(0); math.Abs(got-80000) > 1 {
+		t.Fatalf("Throughput(0) = %v", got)
+	}
+	// 900us of I/O: 8 / 1ms = 8k req/s.
+	if got := m.Throughput(900 * sim.Microsecond); math.Abs(got-8000) > 1 {
+		t.Fatalf("Throughput(900us) = %v", got)
+	}
+}
+
+func TestBandwidthScalesWithBytes(t *testing.T) {
+	m := Default()
+	bw := m.Bandwidth(0)
+	if bw <= 0 {
+		t.Fatal("no bandwidth")
+	}
+	m2 := m
+	m2.BytesPerRequest *= 2
+	if math.Abs(m2.Bandwidth(0)/bw-2) > 1e-9 {
+		t.Fatal("bandwidth not proportional to request size")
+	}
+}
+
+func TestBandwidthMonotoneInLatency(t *testing.T) {
+	m := Default()
+	prev := math.Inf(1)
+	for _, io := range []sim.Duration{0, 25 * sim.Microsecond, 200 * sim.Microsecond, 4 * sim.Millisecond} {
+		bw := m.Bandwidth(io)
+		if bw >= prev {
+			t.Fatalf("bandwidth not decreasing at %v", io)
+		}
+		prev = bw
+	}
+}
+
+func TestElapsed(t *testing.T) {
+	m := Model{Workers: 4, ServiceTime: 100 * sim.Microsecond, BytesPerRequest: 1}
+	// 1000 requests at 100us each over 4 workers = 25ms.
+	if got := m.Elapsed(1000, 0); got != 25*sim.Millisecond {
+		t.Fatalf("Elapsed = %v", got)
+	}
+}
+
+func TestPanicsOnBadModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero workers did not panic")
+		}
+	}()
+	Model{}.Throughput(0)
+}
+
+func TestDefaultMatchesPlatform(t *testing.T) {
+	m := Default()
+	if m.Workers != 8 {
+		t.Fatal("Table 3 platform has 8 cores")
+	}
+}

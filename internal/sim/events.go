@@ -1,0 +1,102 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Fire runs at the event's deadline with
+// the deadline as argument.
+type Event struct {
+	At   Time
+	Fire func(Time)
+
+	index int // heap bookkeeping; -1 once popped or cancelled
+	seq   uint64
+}
+
+// Cancelled reports whether the event has been removed from its queue
+// (either popped and run, or cancelled).
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+// EventQueue is a priority queue of events ordered by deadline, with
+// FIFO ordering among events scheduled for the same instant. The zero
+// value is an empty queue ready for use.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Schedule enqueues fire to run at time at and returns the event handle
+// so the caller may cancel it later.
+func (q *EventQueue) Schedule(at Time, fire func(Time)) *Event {
+	q.seq++
+	e := &Event{At: at, Fire: fire, seq: q.seq}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel removes e from the queue. Cancelling an event that already ran
+// or was already cancelled is a no-op.
+func (q *EventQueue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -1
+}
+
+// PeekTime returns the deadline of the earliest pending event. The
+// second result is false when the queue is empty.
+func (q *EventQueue) PeekTime() (Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// RunUntil pops and fires every event with deadline <= t, in order.
+// Events scheduled by callbacks are honoured if they also fall at or
+// before t. It returns the number of events fired.
+func (q *EventQueue) RunUntil(t Time) int {
+	n := 0
+	for len(q.h) > 0 && !q.h[0].At.After(t) {
+		e := heap.Pop(&q.h).(*Event)
+		e.index = -1
+		e.Fire(e.At)
+		n++
+	}
+	return n
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q EventQueue
+	var fired []Time
+	record := func(at Time) { fired = append(fired, at) }
+
+	q.Schedule(30, record)
+	q.Schedule(10, record)
+	q.Schedule(20, record)
+
+	if n := q.RunUntil(25); n != 2 {
+		t.Fatalf("RunUntil(25) fired %d events, want 2", n)
+	}
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 20 {
+		t.Fatalf("fired = %v, want [10 20]", fired)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", q.Len())
+	}
+	q.RunUntil(100)
+	if len(fired) != 3 || fired[2] != 30 {
+		t.Fatalf("fired = %v, want final event at 30", fired)
+	}
+}
+
+func TestEventQueueFIFOAtSameTime(t *testing.T) {
+	var q EventQueue
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.Schedule(42, func(Time) { order = append(order, i) })
+	}
+	q.RunUntil(42)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-deadline events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEventQueueCancel(t *testing.T) {
+	var q EventQueue
+	fired := false
+	e := q.Schedule(10, func(Time) { fired = true })
+	q.Cancel(e)
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	q.RunUntil(100)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel and nil cancel must be harmless.
+	q.Cancel(e)
+	q.Cancel(nil)
+}
+
+func TestEventQueueCallbackMaySchedule(t *testing.T) {
+	var q EventQueue
+	var fired []Time
+	q.Schedule(10, func(at Time) {
+		fired = append(fired, at)
+		q.Schedule(15, func(at Time) { fired = append(fired, at) })
+		q.Schedule(200, func(at Time) { fired = append(fired, at) })
+	})
+	q.RunUntil(100)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired = %v, want [10 15]", fired)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("future event lost; Len() = %d", q.Len())
+	}
+}
+
+func TestEventQueuePeekTime(t *testing.T) {
+	var q EventQueue
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue reported an event")
+	}
+	q.Schedule(77, func(Time) {})
+	if at, ok := q.PeekTime(); !ok || at != 77 {
+		t.Fatalf("PeekTime = %v,%v want 77,true", at, ok)
+	}
+}
+
+func TestEventQueuePropertySortedDelivery(t *testing.T) {
+	f := func(deadlines []uint16) bool {
+		var q EventQueue
+		var fired []Time
+		for _, d := range deadlines {
+			q.Schedule(Time(d), func(at Time) { fired = append(fired, at) })
+		}
+		q.RunUntil(1 << 20)
+		if len(fired) != len(deadlines) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram accumulates durations into logarithmic buckets (about 12
+// per decade) for percentile reporting without storing samples. The
+// zero value is ready to use.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    Duration
+	min    Duration
+	max    Duration
+}
+
+// bucketsPerDecade controls resolution: relative error per bucket is
+// 10^(1/12)-1 ~ 21%... kept fine enough with 12 sub-buckets (~9%).
+const bucketsPerDecade = 24
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return 1 + int(math.Log10(float64(d))*bucketsPerDecade)
+}
+
+// bucketFloor returns the smallest duration mapping to bucket i.
+func bucketFloor(i int) Duration {
+	if i == 0 {
+		return 0
+	}
+	return Duration(math.Pow(10, float64(i-1)/bucketsPerDecade))
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d Duration) {
+	i := bucketOf(d)
+	if i >= len(h.counts) {
+		grown := make([]uint64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += d
+	if h.total == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the average sample, zero when empty.
+func (h *Histogram) Mean() Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return Duration(uint64(h.sum) / h.total)
+}
+
+// Min and Max return the observed extremes (zero when empty).
+func (h *Histogram) Min() Duration { return h.min }
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() Duration { return h.max }
+
+// Quantile returns an approximation of the q-quantile (0 < q <= 1),
+// accurate to the bucket resolution (~10%). Zero when empty.
+func (h *Histogram) Quantile(q float64) Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 || q > 1 {
+		panic(fmt.Sprintf("sim: quantile %v outside (0,1]", q))
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			// Return the geometric midpoint of the bucket, clamped
+			// to the observed extremes.
+			lo := bucketFloor(i)
+			hi := bucketFloor(i + 1)
+			mid := Duration(math.Sqrt(float64(lo+1) * float64(hi+1)))
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+// String summarises the distribution.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "histogram{empty}"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.total, h.Mean(), h.Quantile(0.50), h.Quantile(0.95),
+		h.Quantile(0.99), h.max)
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.String() != "histogram{empty}" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * Microsecond)
+	if h.Count() != 1 || h.Mean() != 100*Microsecond {
+		t.Fatal("single sample bookkeeping wrong")
+	}
+	if h.Min() != 100*Microsecond || h.Max() != 100*Microsecond {
+		t.Fatal("extremes wrong")
+	}
+	q := h.Quantile(0.5)
+	if q != 100*Microsecond { // clamped to observed extremes
+		t.Fatalf("median of one sample = %v", q)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := NewRNG(1)
+	var samples []Duration
+	for i := 0; i < 50000; i++ {
+		// Bimodal: DRAM-ish fast path and flash-ish slow path.
+		var d Duration
+		if rng.Bool(0.8) {
+			d = Duration(500 + rng.Intn(500))
+		} else {
+			d = Duration(40_000 + rng.Intn(40_000))
+		}
+		h.Observe(d)
+		samples = append(samples, d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		want := float64(samples[int(q*float64(len(samples)))-1])
+		got := float64(h.Quantile(q))
+		if rel := math.Abs(got-want) / want; rel > 0.15 {
+			t.Fatalf("q=%v: got %v want %v (rel err %.2f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramZeroAndHugeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(Duration(3600) * Second)
+	if h.Count() != 2 {
+		t.Fatal("count wrong")
+	}
+	if h.Quantile(1.0) < Duration(3000)*Second {
+		t.Fatalf("p100 = %v", h.Quantile(1.0))
+	}
+}
+
+func TestHistogramQuantilePanics(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	for _, q := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Quantile(%v) did not panic", q)
+				}
+			}()
+			h.Quantile(q)
+		}()
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(Duration(v % 1_000_000))
+		}
+		prev := Duration(-1)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

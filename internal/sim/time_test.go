@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtEpoch(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("new clock at %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(5 * Microsecond)
+	c.Advance(25 * Microsecond)
+	if got, want := c.Now(), Time(30*Microsecond); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(100)
+	if got := c.Now(); got != 100 {
+		t.Fatalf("Now() = %v, want 100", got)
+	}
+	// Earlier target must not rewind the clock.
+	c.AdvanceTo(50)
+	if got := c.Now(); got != 100 {
+		t.Fatalf("AdvanceTo(50) rewound clock to %v", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(10 * Millisecond)
+	t1 := t0.Add(5 * Millisecond)
+	if got, want := t1.Sub(t0), 5*Millisecond; got != want {
+		t.Fatalf("Sub = %v, want %v", got, want)
+	}
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Fatal("Before/After disagree with ordering")
+	}
+}
+
+func TestDurationSeconds(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds() = %v, want 1.5", got)
+	}
+	if got := (25 * Microsecond).Microseconds(); got != 25 {
+		t.Fatalf("Microseconds() = %v, want 25", got)
+	}
+}
+
+func TestDurationScale(t *testing.T) {
+	if got, want := (100 * Microsecond).Scale(2.5), 250*Microsecond; got != want {
+		t.Fatalf("Scale(2.5) = %v, want %v", got, want)
+	}
+	if got := Duration(3).Scale(0.5); got != 2 { // 1.5 rounds to 2
+		t.Fatalf("Scale rounding = %v, want 2", got)
+	}
+}
+
+func TestTimeAddSubRoundTrip(t *testing.T) {
+	f := func(base int64, delta int32) bool {
+		t0 := Time(base % (1 << 50))
+		d := Duration(delta)
+		if d < 0 {
+			d = -d
+		}
+		return t0.Add(d).Sub(t0) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

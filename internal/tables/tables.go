@@ -1,0 +1,253 @@
+// Package tables implements the four management data structures the
+// paper's software-managed Flash disk cache keeps in DRAM (sections
+// 3.1-3.4): the FlashCache hash table (FCHT) mapping disk addresses to
+// Flash pages, the Flash page status table (FPST) holding per-page ECC
+// strength, density mode, valid bit and a saturating access counter,
+// the Flash block status table (FBST) tracking erase counts and the
+// degree-of-wear cost function, and the Flash global status table
+// (FGST) summarising miss rate and average latencies.
+//
+// Disk addresses are page-aligned disk page numbers (2KB units) stored
+// as int64, the paper's logical block address (LBA) tags.
+package tables
+
+import (
+	"fmt"
+
+	"flashdc/internal/ecc"
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/wear"
+)
+
+// InvalidLBA marks a Flash page that holds no disk data.
+const InvalidLBA = int64(-1)
+
+// FCHT is the FlashCache hash table: a fully associative map from disk
+// page number to the Flash page caching it (section 3.1). Go's map is
+// the hash the paper describes.
+type FCHT struct {
+	m map[int64]nand.Addr
+}
+
+// NewFCHT returns an empty table.
+func NewFCHT() *FCHT { return &FCHT{m: make(map[int64]nand.Addr)} }
+
+// Get returns the Flash address caching lba.
+func (f *FCHT) Get(lba int64) (nand.Addr, bool) {
+	a, ok := f.m[lba]
+	return a, ok
+}
+
+// Put records that lba is cached at addr, replacing any previous
+// mapping.
+func (f *FCHT) Put(lba int64, addr nand.Addr) { f.m[lba] = addr }
+
+// Delete removes the mapping for lba if present.
+func (f *FCHT) Delete(lba int64) { delete(f.m, lba) }
+
+// Len returns the number of cached disk pages.
+func (f *FCHT) Len() int { return len(f.m) }
+
+// PageStatus is one FPST entry (section 3.2). Strength and Mode are
+// the page's active configuration; the Staged fields hold the
+// controller's pending reconfiguration, applied on the next erase and
+// write (section 5.2).
+type PageStatus struct {
+	Strength       ecc.Strength
+	StagedStrength ecc.Strength
+	Mode           wear.Mode
+	StagedMode     wear.Mode
+	Valid          bool
+	// LBA is the disk page stored here, or InvalidLBA. It is the
+	// reverse of the FCHT mapping, needed during garbage collection.
+	LBA int64
+	// Access is the saturating read counter driving hot-page SLC
+	// promotion (section 5.2.2).
+	Access uint32
+	// InsertedAt is the cache access-sequence number when the page
+	// was last programmed, used to estimate its relative access
+	// frequency (freq_i of the section 5.2.1 heuristics).
+	InsertedAt uint64
+}
+
+// FPST is the Flash page status table, dimensioned to the device
+// geometry: one entry per potential page (two per slot, so SLC slots
+// simply leave Sub 1 unused).
+type FPST struct {
+	pages    [][]([2]PageStatus)
+	saturate uint32
+}
+
+// NewFPST builds a table for a device with the given block count,
+// every page starting invalid at the given base configuration.
+// saturate is the access-counter ceiling.
+func NewFPST(blocks int, baseStrength ecc.Strength, baseMode wear.Mode, saturate uint32) *FPST {
+	if blocks <= 0 {
+		panic("tables: FPST needs at least one block")
+	}
+	if saturate == 0 {
+		panic("tables: access counter must saturate above zero")
+	}
+	f := &FPST{pages: make([][]([2]PageStatus), blocks), saturate: saturate}
+	for b := range f.pages {
+		f.pages[b] = make([]([2]PageStatus), nand.SlotsPerBlock)
+		for s := range f.pages[b] {
+			for sub := 0; sub < 2; sub++ {
+				f.pages[b][s][sub] = PageStatus{
+					Strength:       baseStrength,
+					StagedStrength: baseStrength,
+					Mode:           baseMode,
+					StagedMode:     baseMode,
+					LBA:            InvalidLBA,
+				}
+			}
+		}
+	}
+	return f
+}
+
+// At returns the status entry for a Flash page. The pointer stays
+// valid for the table's lifetime.
+func (f *FPST) At(a nand.Addr) *PageStatus {
+	return &f.pages[a.Block][a.Slot][a.Sub]
+}
+
+// Saturate returns the access-counter ceiling.
+func (f *FPST) Saturate() uint32 { return f.saturate }
+
+// IncAccess bumps the page's saturating read counter and reports
+// whether this access made it saturate (the hot-page promotion
+// trigger). Further accesses of a saturated counter return false.
+func (f *FPST) IncAccess(a nand.Addr) bool {
+	st := f.At(a)
+	if st.Access >= f.saturate {
+		return false
+	}
+	st.Access++
+	return st.Access == f.saturate
+}
+
+// BlockStatus is one FBST entry (section 3.3).
+type BlockStatus struct {
+	// Erases is the number of erase operations performed.
+	Erases int
+	// TotalECC is the summed ECC strength of the block's pages, the
+	// Total_ECC,i term of the wear-out cost function.
+	TotalECC int
+	// TotalSLC is the number of pages converted to SLC mode due to
+	// wear, the Total_SLC_MLC,i term.
+	TotalSLC int
+	// Retired mirrors the device's permanent removal flag.
+	Retired bool
+}
+
+// FBST is the Flash block status table with the paper's degree-of-wear
+// cost function:
+//
+//	wear_out_i = N_erase,i + K1*Total_ECC,i + K2*Total_SLC_MLC,i
+//
+// K2 > K1 because a density switch signals far more wear than an ECC
+// strength bump (section 3.3).
+type FBST struct {
+	K1, K2 float64
+	blocks []BlockStatus
+}
+
+// NewFBST builds a table for the given block count. K1 and K2 are the
+// positive weight factors; the defaults used by the cache are set by
+// the caller so ablations can sweep them.
+func NewFBST(blocks int, k1, k2 float64) *FBST {
+	if blocks <= 0 {
+		panic("tables: FBST needs at least one block")
+	}
+	if k1 <= 0 || k2 <= k1 {
+		panic(fmt.Sprintf("tables: want 0 < K1 < K2, got K1=%v K2=%v", k1, k2))
+	}
+	return &FBST{K1: k1, K2: k2, blocks: make([]BlockStatus, blocks)}
+}
+
+// At returns the status entry for block b.
+func (f *FBST) At(b int) *BlockStatus { return &f.blocks[b] }
+
+// Blocks returns the number of blocks tracked.
+func (f *FBST) Blocks() int { return len(f.blocks) }
+
+// WearOut evaluates the degree-of-wear cost function for block b.
+func (f *FBST) WearOut(b int) float64 {
+	st := &f.blocks[b]
+	return float64(st.Erases) + f.K1*float64(st.TotalECC) + f.K2*float64(st.TotalSLC)
+}
+
+// Newest returns the non-retired block with minimum wear-out, used by
+// the wear-level aware replacement policy (section 3.6). ok is false
+// when every block is retired.
+func (f *FBST) Newest() (block int, wearOut float64, ok bool) {
+	best := -1
+	bestWear := 0.0
+	for b := range f.blocks {
+		if f.blocks[b].Retired {
+			continue
+		}
+		w := f.WearOut(b)
+		if best == -1 || w < bestWear {
+			best, bestWear = b, w
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return best, bestWear, true
+}
+
+// FGST is the Flash global status table (section 3.4): running miss
+// rate and latency averages the reconfiguration heuristics consume,
+// plus counters for the reconfiguration-event breakdown of Figure 11.
+type FGST struct {
+	Hits, Misses int64
+	// HitLatencyTotal accumulates Flash hit service times; the
+	// average feeds t_hit of the section 5.2.1 heuristics.
+	HitLatencyTotal sim.Duration
+	// MissPenaltyTotal accumulates disk miss penalties (t_miss).
+	MissPenaltyTotal sim.Duration
+	// ECCReconfigs and DensityReconfigs count descriptor updates by
+	// kind (Figure 11).
+	ECCReconfigs, DensityReconfigs int64
+}
+
+// RecordHit accumulates one Flash hit.
+func (g *FGST) RecordHit(latency sim.Duration) {
+	g.Hits++
+	g.HitLatencyTotal += latency
+}
+
+// RecordMiss accumulates one miss serviced by disk.
+func (g *FGST) RecordMiss(penalty sim.Duration) {
+	g.Misses++
+	g.MissPenaltyTotal += penalty
+}
+
+// MissRate returns the running miss ratio, zero before any access.
+func (g *FGST) MissRate() float64 {
+	total := g.Hits + g.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(g.Misses) / float64(total)
+}
+
+// AvgHitLatency returns t_hit, falling back to def before any hit.
+func (g *FGST) AvgHitLatency(def sim.Duration) sim.Duration {
+	if g.Hits == 0 {
+		return def
+	}
+	return sim.Duration(int64(g.HitLatencyTotal) / g.Hits)
+}
+
+// AvgMissPenalty returns t_miss, falling back to def before any miss.
+func (g *FGST) AvgMissPenalty(def sim.Duration) sim.Duration {
+	if g.Misses == 0 {
+		return def
+	}
+	return sim.Duration(int64(g.MissPenaltyTotal) / g.Misses)
+}

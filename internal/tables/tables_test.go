@@ -1,0 +1,203 @@
+package tables
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/wear"
+)
+
+func TestFCHTBasics(t *testing.T) {
+	f := NewFCHT()
+	if _, ok := f.Get(42); ok {
+		t.Fatal("empty table reported a hit")
+	}
+	a := nand.Addr{Block: 1, Slot: 2, Sub: 1}
+	f.Put(42, a)
+	got, ok := f.Get(42)
+	if !ok || got != a {
+		t.Fatalf("Get = %v,%v", got, ok)
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	b := nand.Addr{Block: 9}
+	f.Put(42, b)
+	if got, _ := f.Get(42); got != b {
+		t.Fatal("Put did not replace")
+	}
+	f.Delete(42)
+	if _, ok := f.Get(42); ok || f.Len() != 0 {
+		t.Fatal("Delete did not remove")
+	}
+	f.Delete(42) // deleting absent key is a no-op
+}
+
+func TestFCHTProperty(t *testing.T) {
+	f := NewFCHT()
+	check := func(lbas []int64) bool {
+		for i, lba := range lbas {
+			f.Put(lba, nand.Addr{Block: i})
+		}
+		for i := len(lbas) - 1; i >= 0; i-- {
+			a, ok := f.Get(lbas[i])
+			if !ok {
+				return false
+			}
+			// Later duplicate Put wins.
+			last := i
+			for j := i + 1; j < len(lbas); j++ {
+				if lbas[j] == lbas[i] {
+					last = j
+				}
+			}
+			if a.Block != last {
+				return false
+			}
+		}
+		for _, lba := range lbas {
+			f.Delete(lba)
+		}
+		return f.Len() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPSTInitialState(t *testing.T) {
+	f := NewFPST(4, 1, wear.MLC, 8)
+	st := f.At(nand.Addr{Block: 3, Slot: 63, Sub: 1})
+	if st.Strength != 1 || st.Mode != wear.MLC || st.Valid || st.LBA != InvalidLBA {
+		t.Fatalf("initial entry %+v", st)
+	}
+	if f.Saturate() != 8 {
+		t.Fatalf("Saturate = %d", f.Saturate())
+	}
+}
+
+func TestFPSTPointerStability(t *testing.T) {
+	f := NewFPST(2, 1, wear.SLC, 4)
+	a := nand.Addr{Block: 1, Slot: 5}
+	f.At(a).Valid = true
+	f.At(a).LBA = 77
+	if st := f.At(a); !st.Valid || st.LBA != 77 {
+		t.Fatal("mutations through At lost")
+	}
+}
+
+func TestFPSTIncAccessSaturates(t *testing.T) {
+	f := NewFPST(1, 1, wear.MLC, 3)
+	a := nand.Addr{}
+	for i := 1; i <= 2; i++ {
+		if f.IncAccess(a) {
+			t.Fatalf("saturated early at %d", i)
+		}
+	}
+	if !f.IncAccess(a) {
+		t.Fatal("did not report saturation on 3rd access")
+	}
+	if f.IncAccess(a) {
+		t.Fatal("reported saturation twice")
+	}
+	if f.At(a).Access != 3 {
+		t.Fatalf("counter overflowed: %d", f.At(a).Access)
+	}
+}
+
+func TestFPSTConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewFPST(0, 1, wear.SLC, 4) },
+		func() { NewFPST(1, 1, wear.SLC, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad FPST construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFBSTWearOutFormula(t *testing.T) {
+	f := NewFBST(3, 2, 20)
+	st := f.At(1)
+	st.Erases = 100
+	st.TotalECC = 30
+	st.TotalSLC = 4
+	// wear = 100 + 2*30 + 20*4 = 240
+	if got := f.WearOut(1); got != 240 {
+		t.Fatalf("WearOut = %v, want 240", got)
+	}
+	if f.WearOut(0) != 0 {
+		t.Fatal("fresh block has non-zero wear")
+	}
+	if f.Blocks() != 3 {
+		t.Fatalf("Blocks = %d", f.Blocks())
+	}
+}
+
+func TestFBSTNewest(t *testing.T) {
+	f := NewFBST(4, 1, 10)
+	f.At(0).Erases = 50
+	f.At(1).Erases = 10
+	f.At(2).Erases = 30
+	f.At(3).Erases = 5
+	b, w, ok := f.Newest()
+	if !ok || b != 3 || w != 5 {
+		t.Fatalf("Newest = %d,%v,%v", b, w, ok)
+	}
+	f.At(3).Retired = true
+	if b, _, _ := f.Newest(); b != 1 {
+		t.Fatalf("Newest skipping retired = %d", b)
+	}
+	for i := 0; i < 4; i++ {
+		f.At(i).Retired = true
+	}
+	if _, _, ok := f.Newest(); ok {
+		t.Fatal("Newest found a block among all-retired")
+	}
+}
+
+func TestFBSTConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewFBST(0, 1, 2) },
+		func() { NewFBST(1, 0, 2) },
+		func() { NewFBST(1, 3, 2) }, // K2 must exceed K1
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad FBST construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFGSTAverages(t *testing.T) {
+	var g FGST
+	if g.MissRate() != 0 {
+		t.Fatal("miss rate before any access")
+	}
+	if g.AvgHitLatency(7) != 7 || g.AvgMissPenalty(9) != 9 {
+		t.Fatal("defaults not honoured")
+	}
+	g.RecordHit(100 * sim.Microsecond)
+	g.RecordHit(300 * sim.Microsecond)
+	g.RecordMiss(8 * sim.Millisecond)
+	if g.MissRate() != 1.0/3 {
+		t.Fatalf("miss rate %v", g.MissRate())
+	}
+	if g.AvgHitLatency(0) != 200*sim.Microsecond {
+		t.Fatalf("avg hit %v", g.AvgHitLatency(0))
+	}
+	if g.AvgMissPenalty(0) != 8*sim.Millisecond {
+		t.Fatalf("avg miss %v", g.AvgMissPenalty(0))
+	}
+}

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes through the trace parser: it must
+// return a request or an error for every line, and never panic or
+// loop.
+func FuzzReader(f *testing.F) {
+	f.Add("R 5 1\nW 6 2\n")
+	f.Add("# comment\n\nR 0 1\n")
+	f.Add("X 1 1\n")
+	f.Add("R -1 1\n")
+	f.Add("R 99999999999999999999 1\n")
+	f.Add(strings.Repeat("R 1 1\n", 100))
+	f.Add("\x00\x01\x02")
+	f.Fuzz(func(t *testing.T, input string) {
+		r := NewReader(strings.NewReader(input))
+		for i := 0; i < 10000; i++ {
+			req, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // parse errors are fine; panics are not
+			}
+			if req.Pages < 1 || req.LBA < 0 {
+				t.Fatalf("invalid request passed validation: %+v", req)
+			}
+		}
+	})
+}

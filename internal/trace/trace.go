@@ -1,0 +1,160 @@
+// Package trace defines the disk access trace format shared by the
+// workload generators, the Flash disk cache simulator and the
+// experiment harness — the equivalent of the paper's disk traces
+// (Table 4) fed to its "light weight trace based Flash disk cache
+// simulator".
+//
+// Requests address 2KB disk pages (the cache management granularity).
+// The text serialisation is one request per line: "R <page> <count>"
+// or "W <page> <count>".
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Op is a request direction.
+type Op uint8
+
+const (
+	// OpRead fetches pages.
+	OpRead Op = iota
+	// OpWrite stores pages.
+	OpWrite
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o == OpRead {
+		return "R"
+	}
+	return "W"
+}
+
+// Request is one disk access: Pages consecutive 2KB pages starting at
+// page number LBA.
+type Request struct {
+	Op    Op
+	LBA   int64
+	Pages int
+}
+
+// Expand invokes fn for every page of the request in order.
+func (r Request) Expand(fn func(lba int64)) {
+	n := r.Pages
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		fn(r.LBA + int64(i))
+	}
+}
+
+// Stats summarises a request stream.
+type Stats struct {
+	Requests    int64
+	ReadPages   int64
+	WritePages  int64
+	uniquePages map[int64]struct{}
+}
+
+// NewStats returns an empty accumulator.
+func NewStats() *Stats {
+	return &Stats{uniquePages: make(map[int64]struct{})}
+}
+
+// Add accumulates one request.
+func (s *Stats) Add(r Request) {
+	s.Requests++
+	r.Expand(func(lba int64) {
+		if r.Op == OpRead {
+			s.ReadPages++
+		} else {
+			s.WritePages++
+		}
+		s.uniquePages[lba] = struct{}{}
+	})
+}
+
+// UniquePages returns the footprint in distinct pages.
+func (s *Stats) UniquePages() int64 { return int64(len(s.uniquePages)) }
+
+// WorkingSetBytes returns the footprint in bytes (2KB pages).
+func (s *Stats) WorkingSetBytes() int64 { return s.UniquePages() * 2048 }
+
+// WriteFraction returns written pages over all pages.
+func (s *Stats) WriteFraction() float64 {
+	total := s.ReadPages + s.WritePages
+	if total == 0 {
+		return 0
+	}
+	return float64(s.WritePages) / float64(total)
+}
+
+// Writer serialises requests in the text format.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write emits one request.
+func (t *Writer) Write(r Request) error {
+	n := r.Pages
+	if n < 1 {
+		n = 1
+	}
+	_, err := fmt.Fprintf(t.w, "%s %d %d\n", r.Op, r.LBA, n)
+	return err
+}
+
+// Flush drains buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader parses the text format.
+type Reader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Reader{s: s}
+}
+
+// Read returns the next request, or io.EOF when exhausted.
+func (t *Reader) Read() (Request, error) {
+	for t.s.Scan() {
+		t.line++
+		line := t.s.Text()
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		var op string
+		var req Request
+		if _, err := fmt.Sscanf(line, "%s %d %d", &op, &req.LBA, &req.Pages); err != nil {
+			return Request{}, fmt.Errorf("trace: line %d: %v", t.line, err)
+		}
+		switch op {
+		case "R":
+			req.Op = OpRead
+		case "W":
+			req.Op = OpWrite
+		default:
+			return Request{}, fmt.Errorf("trace: line %d: unknown op %q", t.line, op)
+		}
+		if req.Pages < 1 || req.LBA < 0 {
+			return Request{}, fmt.Errorf("trace: line %d: bad request %+v", t.line, req)
+		}
+		return req, nil
+	}
+	if err := t.s.Err(); err != nil {
+		return Request{}, err
+	}
+	return Request{}, io.EOF
+}

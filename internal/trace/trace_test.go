@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "R" || OpWrite.String() != "W" {
+		t.Fatal("op names wrong")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	var got []int64
+	Request{Op: OpRead, LBA: 10, Pages: 3}.Expand(func(l int64) { got = append(got, l) })
+	if len(got) != 3 || got[0] != 10 || got[2] != 12 {
+		t.Fatalf("Expand = %v", got)
+	}
+	// Zero pages behaves as one.
+	got = nil
+	Request{LBA: 5}.Expand(func(l int64) { got = append(got, l) })
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Expand zero-pages = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStats()
+	s.Add(Request{Op: OpRead, LBA: 0, Pages: 4})
+	s.Add(Request{Op: OpWrite, LBA: 2, Pages: 4})
+	if s.Requests != 2 || s.ReadPages != 4 || s.WritePages != 4 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.UniquePages() != 6 { // 0..3 and 2..5
+		t.Fatalf("unique = %d", s.UniquePages())
+	}
+	if s.WorkingSetBytes() != 6*2048 {
+		t.Fatal("working set bytes wrong")
+	}
+	if s.WriteFraction() != 0.5 {
+		t.Fatalf("write fraction %v", s.WriteFraction())
+	}
+	if NewStats().WriteFraction() != 0 {
+		t.Fatal("empty stats write fraction")
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	f := func(ops []bool, lbas []uint32) bool {
+		n := len(ops)
+		if len(lbas) < n {
+			n = len(lbas)
+		}
+		var reqs []Request
+		for i := 0; i < n; i++ {
+			op := OpRead
+			if ops[i] {
+				op = OpWrite
+			}
+			reqs = append(reqs, Request{Op: op, LBA: int64(lbas[i]), Pages: i%7 + 1})
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range reqs {
+			if err := w.Write(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		rd := NewReader(&buf)
+		for _, want := range reqs {
+			got, err := rd.Read()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err := rd.Read()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\nR 5 1\n# middle\nW 6 2\n"
+	rd := NewReader(strings.NewReader(in))
+	r1, err := rd.Read()
+	if err != nil || r1.Op != OpRead || r1.LBA != 5 {
+		t.Fatalf("r1 = %+v, %v", r1, err)
+	}
+	r2, err := rd.Read()
+	if err != nil || r2.Op != OpWrite || r2.Pages != 2 {
+		t.Fatalf("r2 = %+v, %v", r2, err)
+	}
+	if _, err := rd.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"X 1 1\n", "R -3 1\n", "R 1 0\n", "R\n"} {
+		rd := NewReader(strings.NewReader(in))
+		if _, err := rd.Read(); err == nil || err == io.EOF {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}

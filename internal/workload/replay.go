@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"io"
+
+	"flashdc/internal/trace"
+)
+
+// Replay adapts a recorded trace to the Generator interface, looping
+// when the recording ends so simulations can run longer than the
+// capture. Footprint is learned lazily from the requests seen.
+type Replay struct {
+	name     string
+	requests []trace.Request
+	pos      int
+	maxPage  int64
+}
+
+// NewReplay reads an entire trace from r (text format) into memory.
+// name labels the workload; an empty name becomes "replay".
+func NewReplay(name string, r io.Reader) (*Replay, error) {
+	if name == "" {
+		name = "replay"
+	}
+	rd := trace.NewReader(r)
+	rp := &Replay{name: name}
+	for {
+		req, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rp.requests = append(rp.requests, req)
+		if end := req.LBA + int64(req.Pages); end > rp.maxPage {
+			rp.maxPage = end
+		}
+	}
+	if len(rp.requests) == 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return rp, nil
+}
+
+// Name implements Generator.
+func (r *Replay) Name() string { return r.name }
+
+// FootprintPages implements Generator: the highest page touched plus
+// one (the address-space extent of the recording).
+func (r *Replay) FootprintPages() int64 { return r.maxPage }
+
+// Len returns the number of recorded requests (one loop).
+func (r *Replay) Len() int { return len(r.requests) }
+
+// Next implements Generator, looping over the recording.
+func (r *Replay) Next() trace.Request {
+	req := r.requests[r.pos]
+	r.pos++
+	if r.pos == len(r.requests) {
+		r.pos = 0
+	}
+	return req
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flashdc/internal/trace"
+)
+
+func TestReplayRoundTrip(t *testing.T) {
+	// Record a generated stream, replay it, and compare.
+	g := MustNew("alpha2", 0.01, 9)
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	var recorded []trace.Request
+	for i := 0; i < 500; i++ {
+		r := g.Next()
+		recorded = append(recorded, r)
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := NewReplay("alpha2-capture", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "alpha2-capture" || rp.Len() != 500 {
+		t.Fatalf("replay meta: %s %d", rp.Name(), rp.Len())
+	}
+	for i, want := range recorded {
+		if got := rp.Next(); got != want {
+			t.Fatalf("request %d: %+v != %+v", i, got, want)
+		}
+	}
+	// Looping: the 501st request is the first again.
+	if got := rp.Next(); got != recorded[0] {
+		t.Fatal("replay did not loop")
+	}
+}
+
+func TestReplayFootprint(t *testing.T) {
+	in := "R 10 2\nW 100 1\nR 5 1\n"
+	rp, err := NewReplay("", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "replay" {
+		t.Fatalf("default name %q", rp.Name())
+	}
+	if rp.FootprintPages() != 101 {
+		t.Fatalf("footprint %d, want 101", rp.FootprintPages())
+	}
+}
+
+func TestReplayEmptyAndBadInput(t *testing.T) {
+	if _, err := NewReplay("x", strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := NewReplay("x", strings.NewReader("garbage\n")); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}
+
+func TestReplaySatisfiesGenerator(t *testing.T) {
+	var _ Generator = (*Replay)(nil)
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"flashdc/internal/trace"
+)
+
+func TestCatalogMatchesTable4(t *testing.T) {
+	want := []string{"uniform", "alpha1", "alpha2", "alpha3", "exp1", "exp2",
+		"dbt2", "SPECWeb99", "WebSearch1", "WebSearch2", "Financial1", "Financial2"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("catalog has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("catalog[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	if _, ok := Lookup("specweb99"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("nope", 1, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := New("uniform", 0, 1); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := New("uniform", 1.5, 1); err == nil {
+		t.Fatal("over-unity scale accepted")
+	}
+}
+
+func TestFootprintScaling(t *testing.T) {
+	full := MustNew("uniform", 1, 1)
+	half := MustNew("uniform", 0.5, 1)
+	if full.FootprintPages() != (512<<20)/PageBytes {
+		t.Fatalf("full footprint %d", full.FootprintPages())
+	}
+	if got, want := half.FootprintPages(), full.FootprintPages()/2; got != want {
+		t.Fatalf("half footprint %d, want %d", got, want)
+	}
+}
+
+func TestRequestsStayInFootprint(t *testing.T) {
+	for _, name := range Names() {
+		g := MustNew(name, 0.01, 7)
+		for i := 0; i < 5000; i++ {
+			r := g.Next()
+			if r.LBA < 0 || r.LBA >= g.FootprintPages() {
+				t.Fatalf("%s: request %d outside footprint %d", name, r.LBA, g.FootprintPages())
+			}
+			if r.Pages != 1 {
+				t.Fatalf("%s: unexpected multi-page request", name)
+			}
+		}
+	}
+}
+
+func TestWriteFractionsRealised(t *testing.T) {
+	for _, spec := range Catalog {
+		g := MustNew(spec.Name, 0.01, 3)
+		s := trace.NewStats()
+		for i := 0; i < 30000; i++ {
+			s.Add(g.Next())
+		}
+		got := s.WriteFraction()
+		// Sequential read runs dilute the write share slightly.
+		if math.Abs(got-spec.WriteFraction) > 0.05+spec.WriteFraction*0.2 {
+			t.Errorf("%s: write fraction %.3f, spec %.3f", spec.Name, got, spec.WriteFraction)
+		}
+	}
+}
+
+func TestTailOrdering(t *testing.T) {
+	// Zipf alpha ordering: higher alpha concentrates more mass on the
+	// head; exponential is shorter-tailed than any zipf; uniform is
+	// the longest tail.
+	headShare := func(name string) float64 {
+		g := MustNew(name, 0.01, 11)
+		counts := map[int64]int64{}
+		const n = 60000
+		for i := 0; i < n; i++ {
+			r := g.Next()
+			counts[r.LBA]++
+		}
+		// Share of traffic on the 1% hottest pages.
+		hot := g.FootprintPages() / 100
+		var sum int64
+		for lba, c := range counts {
+			if lba < hot {
+				sum += c
+			}
+		}
+		return float64(sum) / n
+	}
+	uni := headShare("uniform")
+	a1 := headShare("alpha1")
+	a3 := headShare("alpha3")
+	e2 := headShare("exp2")
+	if !(uni < a1 && a1 < a3) {
+		t.Fatalf("zipf ordering broken: uniform=%.3f alpha1=%.3f alpha3=%.3f", uni, a1, a3)
+	}
+	if e2 < a1 {
+		t.Fatalf("exponential should be shorter-tailed than zipf 0.8: exp2=%.3f alpha1=%.3f", e2, a1)
+	}
+}
+
+func TestMacroFootprints(t *testing.T) {
+	// Figure 7 quotes these working set sizes.
+	ws1, _ := Lookup("WebSearch1")
+	if ws1.FootprintBytes != 5116<<20 {
+		t.Fatalf("WebSearch1 footprint %d", ws1.FootprintBytes)
+	}
+	f2, _ := Lookup("Financial2")
+	if f2.FootprintBytes != 444<<20 {
+		t.Fatalf("Financial2 footprint %d", f2.FootprintBytes)
+	}
+	// Financial1 is the write-heavy trace.
+	f1, _ := Lookup("Financial1")
+	if f1.WriteFraction < 0.5 {
+		t.Fatal("Financial1 should be write-heavy")
+	}
+}
+
+func TestPopularityCounts(t *testing.T) {
+	g := MustNew("alpha2", 0.005, 5)
+	counts := PopularityCounts(g, 20000)
+	if len(counts) == 0 {
+		t.Fatal("no popularity data")
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatal("popularity counts not sorted descending")
+		}
+	}
+	if counts[0] <= counts[len(counts)-1] {
+		t.Fatal("zipf popularity should be skewed")
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	a := MustNew("dbt2", 0.01, 9)
+	b := MustNew("dbt2", 0.01, 9)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed workloads diverged")
+		}
+	}
+	c := MustNew("dbt2", 0.01, 10)
+	diff := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() != c.Next() {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSequentialRunsInWeb(t *testing.T) {
+	g := MustNew("SPECWeb99", 0.01, 13)
+	seq := 0
+	var prev int64 = -10
+	for i := 0; i < 20000; i++ {
+		r := g.Next()
+		if r.Op == trace.OpRead && r.LBA == prev+1 {
+			seq++
+		}
+		prev = r.LBA
+	}
+	if seq < 100 {
+		t.Fatalf("web workload shows almost no sequentiality: %d", seq)
+	}
+}
