@@ -9,6 +9,14 @@
 //	fdcsim -workload dbt2 -scale 0.0625 -requests 200000
 //	fdcsim -trace trace.txt -dram 32M -flash 128M
 //	fdcsim -workload SPECWeb99 -unified -no-programmable
+//	fdcsim -faults "read=2e-3,program=1e-3,erase=1e-3,grown=0.2,seed=7" -scrub 512
+//
+// The -faults flag attaches a deterministic fault-injection campaign
+// (comma-separated key=value list) to the Flash device; the report
+// then includes retry/remap/retirement counters and an end-of-run
+// integrity audit. Keys: read (transient flip rate), flipmax, program,
+// erase, grown (rates), seed, burst-every, burst-len, burst-factor,
+// bad (factory-bad block list, slash-separated).
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"strings"
 
 	"flashdc/internal/core"
+	"flashdc/internal/fault"
 	"flashdc/internal/hier"
 	"flashdc/internal/server"
 	"flashdc/internal/trace"
@@ -47,6 +56,56 @@ func parseSize(s string) (int64, error) {
 	return v * mult, nil
 }
 
+// parseFaults parses the -faults key=value list into a campaign plan.
+func parseFaults(spec string) (*fault.Plan, error) {
+	p := &fault.Plan{}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad fault setting %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "read":
+			p.ReadFlipRate, err = strconv.ParseFloat(v, 64)
+		case "flipmax":
+			p.ReadFlipMax, err = strconv.Atoi(v)
+		case "program":
+			p.ProgramFailRate, err = strconv.ParseFloat(v, 64)
+		case "erase":
+			p.EraseFailRate, err = strconv.ParseFloat(v, 64)
+		case "grown":
+			p.GrownBadRate, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			p.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "burst-every":
+			p.BurstEvery, err = strconv.ParseUint(v, 10, 64)
+		case "burst-len":
+			p.BurstLen, err = strconv.ParseUint(v, 10, 64)
+		case "burst-factor":
+			p.BurstFactor, err = strconv.ParseFloat(v, 64)
+		case "bad":
+			for _, f := range strings.Split(v, "/") {
+				b, perr := strconv.Atoi(f)
+				if perr != nil {
+					return nil, fmt.Errorf("bad factory-bad block %q: %v", f, perr)
+				}
+				p.FactoryBadBlocks = append(p.FactoryBadBlocks, b)
+			}
+		default:
+			return nil, fmt.Errorf("unknown fault key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad fault value %q: %v", kv, err)
+		}
+	}
+	return p, nil
+}
+
 func main() {
 	var (
 		workloadName = flag.String("workload", "dbt2", "Table 4 workload name (ignored with -trace)")
@@ -59,6 +118,8 @@ func main() {
 		unified      = flag.Bool("unified", false, "use the unified (non-split) Flash cache baseline")
 		noProg       = flag.Bool("no-programmable", false, "disable the programmable controller (fixed BCH-1)")
 		wearAccel    = flag.Float64("wear-accel", 1, "wear acceleration factor")
+		faultSpec    = flag.String("faults", "", "fault-injection campaign, e.g. \"read=2e-3,program=1e-3,erase=1e-3,grown=0.2,seed=7\"")
+		scrubEvery   = flag.Int("scrub", 0, "background scrub scan interval in host operations (0 disables)")
 	)
 	flag.Parse()
 
@@ -71,6 +132,12 @@ func main() {
 	fc.Split = !*unified
 	fc.Programmable = !*noProg
 	fc.WearAcceleration = *wearAccel
+	fc.ScrubEvery = *scrubEvery
+	if *faultSpec != "" {
+		plan, err := parseFaults(*faultSpec)
+		die(err)
+		fc.Faults = plan
+	}
 
 	cfg := hier.Config{DRAMBytes: dram, FlashBytes: flash, Seed: *seed}
 	if flash > 0 {
@@ -140,6 +207,20 @@ func main() {
 		ds := fcache.DeviceStats()
 		fmt.Printf("device ops:        %d reads, %d programs, %d erases\n",
 			ds.Reads, ds.Programs, ds.Erases)
+		if *faultSpec != "" || *scrubEvery > 0 {
+			fs := fcache.FaultStats()
+			fmt.Printf("faults injected:   %d read flips over %d reads, %d program fails, %d erase fails, %d grown bad\n",
+				fs.ReadFlips, fs.ReadInjections, fs.ProgramFails, fs.EraseFails, fs.GrownBad)
+			fmt.Printf("fault recovery:    %d retries (%d recovered), %d remaps, %d program fails, %d erase fails\n",
+				cs.ReadRetries, cs.RetryRecoveries, cs.Remaps, cs.ProgramFailures, cs.EraseFailures)
+			fmt.Printf("scrubber:          %d pages scanned, %d migrated, %v background time\n",
+				cs.ScrubScans, cs.ScrubMigrations, cs.ScrubTime)
+			if err := fcache.CheckIntegrity(); err != nil {
+				fmt.Printf("integrity:         FAILED: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("integrity:         OK (%d cached pages verified)\n", fcache.ValidPages())
+		}
 	}
 	elapsed := srv.Elapsed(st.Requests, st.AvgLatency())
 	if db := sys.DiskBusy(); db > elapsed {

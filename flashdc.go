@@ -42,6 +42,7 @@ import (
 	"flashdc/internal/array"
 	"flashdc/internal/core"
 	"flashdc/internal/experiments"
+	"flashdc/internal/fault"
 	"flashdc/internal/ftl"
 	"flashdc/internal/hier"
 	"flashdc/internal/server"
@@ -183,7 +184,33 @@ const (
 
 // LoadCacheMetadata rebuilds a cache from a metadata image written by
 // Cache.SaveMetadata, restoring the Flash contents and wear state (the
-// paper's tables are sourced from disk at run time, section 3).
+// paper's tables are sourced from disk at run time, section 3). A
+// truncated or corrupted image is rejected with an error wrapping
+// ErrCorruptMetadata.
 func LoadCacheMetadata(cfg CacheConfig, r io.Reader) (*Cache, error) {
 	return core.LoadMetadata(cfg, r)
+}
+
+// Fault injection and recovery API.
+type (
+	// FaultPlan configures a deterministic fault-injection campaign
+	// (transient read flips, program/erase failures, grown bad
+	// blocks); attach one via CacheConfig.Faults.
+	FaultPlan = fault.Plan
+	// FaultStats counts the faults an injector delivered.
+	FaultStats = fault.Stats
+	// RecoveryReport describes how RecoverCacheMetadata brought a
+	// cache back (clean load vs. cold start).
+	RecoveryReport = core.RecoveryReport
+)
+
+// ErrCorruptMetadata tags every corruption-class metadata load
+// failure; test with errors.Is.
+var ErrCorruptMetadata = core.ErrCorruptMetadata
+
+// RecoverCacheMetadata is the crash-tolerant LoadCacheMetadata: a
+// rejected image yields a usable cold-started cache plus a report
+// instead of an error.
+func RecoverCacheMetadata(cfg CacheConfig, r io.Reader) (*Cache, RecoveryReport) {
+	return core.RecoverMetadata(cfg, r)
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"flashdc/internal/ecc"
+	"flashdc/internal/fault"
 	"flashdc/internal/nand"
 	"flashdc/internal/sim"
 	"flashdc/internal/tables"
@@ -99,6 +100,36 @@ type Config struct {
 	Seed uint64
 	// Backing receives dirty write-backs; nil discards (counted).
 	Backing Backing
+	// Faults, when non-nil, runs a deterministic fault-injection
+	// campaign on the device: transient read flips, program/erase
+	// failures and grown bad blocks per the plan. The recovery
+	// policies below (read retry, remap, retirement, scrubbing) are
+	// what keep the cache correct under it.
+	Faults *fault.Plan
+	// MaxReadRetries bounds the read-retry ladder walked when a read
+	// exceeds its page's correction capability, each step escalating
+	// the effective decode strength by one (modelling the read-retry
+	// reference-voltage sets plus soft-decode of real controllers,
+	// capped at the hardware limit of 12). 0 means 3. Retries engage
+	// only when a fault campaign is attached — organic wear errors are
+	// deterministic and cannot be retried away.
+	MaxReadRetries int
+	// ProgramFailLimit is how many consecutive program failures a
+	// block may suffer before it is retired as grown-bad. 0 means 3.
+	ProgramFailLimit int
+	// ScrubEvery enables the background scrubber: every ScrubEvery
+	// host operations it scans a batch of pages and rewrites valid
+	// pages whose wear has reached their correction capability before
+	// they become unreadable. 0 disables scrubbing.
+	ScrubEvery int
+	// ScrubBatch is the number of pages examined per scrub increment;
+	// 0 means 128.
+	ScrubBatch int
+	// ScrubPeriod, with an attached clock (AttachClock), additionally
+	// schedules scrub increments on the cache's event queue at this
+	// simulated-time period, occupying the device like other
+	// background work. 0 relies on the operation-count trigger alone.
+	ScrubPeriod sim.Duration
 }
 
 // DefaultConfig returns the paper's configuration for a cache of the
@@ -150,10 +181,32 @@ type Stats struct {
 	// 5.2.2).
 	Promotions int64
 	// Uncorrectable counts reads whose bit errors exceeded the
-	// configured ECC strength (served from disk instead).
-	Uncorrectable int64
-	// RetiredBlocks counts permanently removed blocks.
+	// configured ECC strength even after retries (served from disk
+	// instead). UncorrectableInjected is the subset whose organic wear
+	// alone was within capability — the loss was injection-caused.
+	Uncorrectable         int64
+	UncorrectableInjected int64
+	// RetiredBlocks counts permanently removed blocks (including
+	// factory-bad blocks never placed in service).
 	RetiredBlocks int64
+
+	// Fault-tolerance activity (nonzero only under fault campaigns or
+	// heavy wear). ReadRetries counts retry reads issued after a
+	// correction-capability overflow; RetryRecoveries the reads those
+	// retries salvaged.
+	ReadRetries, RetryRecoveries int64
+	// TransientFlips counts injected bit flips observed by reads
+	// (the injected share; organic wear errors are not counted here).
+	TransientFlips int64
+	// ProgramFailures and EraseFailures count failed device
+	// operations; Remaps the victim pages rewritten to another slot
+	// after a program failure.
+	ProgramFailures, EraseFailures, Remaps int64
+	// ScrubScans counts pages examined by the background scrubber;
+	// ScrubMigrations the at-risk pages it rewrote; ScrubTime its
+	// total background duration.
+	ScrubScans, ScrubMigrations int64
+	ScrubTime                   sim.Duration
 }
 
 // MissRate returns read misses over read lookups.
@@ -192,6 +245,14 @@ type Cache struct {
 	// AttachClock).
 	clock     *sim.Clock
 	busyUntil sim.Time
+	// events queues clock-driven background work (the scrubber); it is
+	// pumped at the start of every host operation.
+	events sim.EventQueue
+	// scrubTick amortises the operation-count scrub trigger;
+	// scrubBlock/scrubSlot/scrubSub is the scan cursor.
+	scrubTick             uint64
+	scrubBlock, scrubSlot int
+	scrubSub              int
 }
 
 // New builds a cache. It panics on degenerate configurations: sizing
@@ -240,10 +301,25 @@ func New(cfg Config) *Cache {
 	if cfg.MissPenalty == 0 {
 		cfg.MissPenalty = 4200 * sim.Microsecond
 	}
+	if cfg.MaxReadRetries == 0 {
+		cfg.MaxReadRetries = 3
+	}
+	if cfg.ProgramFailLimit == 0 {
+		cfg.ProgramFailLimit = 3
+	}
+	if cfg.ScrubBatch == 0 {
+		cfg.ScrubBatch = 128
+	}
 
 	blocks := nand.BlocksForCapacity(cfg.FlashBytes, cfg.InitialMode)
 	if blocks < 4 {
 		blocks = 4
+	}
+	var injector *fault.Injector
+	var factoryBad []int
+	if cfg.Faults != nil {
+		injector = fault.NewInjector(*cfg.Faults)
+		factoryBad = cfg.Faults.FactoryBadBlocks
 	}
 	c := &Cache{
 		cfg: cfg,
@@ -254,6 +330,8 @@ func New(cfg Config) *Cache {
 			Timing:           cfg.Timing,
 			Seed:             cfg.Seed,
 			WearAcceleration: cfg.WearAcceleration,
+			Faults:           injector,
+			FactoryBadBlocks: factoryBad,
 		}),
 		fcht:         tables.NewFCHT(),
 		fpst:         tables.NewFPST(blocks, cfg.BaseStrength, cfg.InitialMode, cfg.HotSaturation),
@@ -284,16 +362,40 @@ func New(cfg Config) *Cache {
 				r = writeRegion
 			}
 			c.meta[b].region = r
+			if c.markFactoryBad(b) {
+				continue
+			}
 			c.regions[r].addFree(b)
 		}
 	} else {
 		c.regions = []*region{newRegion(readRegion)}
 		for b := 0; b < blocks; b++ {
 			c.meta[b].region = readRegion
+			if c.markFactoryBad(b) {
+				continue
+			}
 			c.regions[readRegion].addFree(b)
 		}
 	}
+	for _, r := range c.regions {
+		if r.blocks < 2 {
+			// Factory bad blocks ate a region below operating minimum.
+			c.dead = true
+		}
+	}
 	return c
+}
+
+// markFactoryBad records a block the device shipped as bad: it never
+// enters a region and counts as retired from birth.
+func (c *Cache) markFactoryBad(b int) bool {
+	if !c.dev.Retired(b) {
+		return false
+	}
+	c.meta[b].state = blockRetired
+	c.fbst.At(b).Retired = true
+	c.stats.RetiredBlocks++
+	return true
 }
 
 // Stats returns a copy of the cache counters.
@@ -301,6 +403,12 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // DeviceStats returns the underlying Flash operation counters.
 func (c *Cache) DeviceStats() nand.Stats { return c.dev.Stats() }
+
+// FaultStats returns the fault injector's counters — the injected
+// failure supply, against which the Stats recovery counters (retries,
+// remaps, retirements) measure the controller's response. Zero when no
+// campaign is attached.
+func (c *Cache) FaultStats() fault.Stats { return c.dev.FaultInjector().Stats() }
 
 // Global returns a copy of the FGST (miss rate, latency averages,
 // reconfiguration-event counters for Figure 11).
@@ -357,8 +465,20 @@ func (c *Cache) ResetDeviceStats() {
 // device on a timeline, and host reads arriving while it runs wait for
 // it — the mechanism behind Figure 1(b)'s performance impact. Without
 // a clock (the default), background work is accounted in GCTime and
-// power only.
-func (c *Cache) AttachClock(clock *sim.Clock) { c.clock = clock }
+// power only. With ScrubPeriod configured, attaching a clock also
+// starts the event-queue-scheduled scrubber.
+func (c *Cache) AttachClock(clock *sim.Clock) {
+	c.clock = clock
+	c.scheduleScrub()
+}
+
+// pumpEvents fires due background events (the clock-driven scrubber)
+// against the attached clock. A no-op without a clock.
+func (c *Cache) pumpEvents() {
+	if c.clock != nil && c.events.Len() > 0 {
+		c.events.RunUntil(c.clock.Now())
+	}
+}
 
 // contentionDelay returns how long a host operation arriving now must
 // wait for the device, and marks the device busy for opTime after it.

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"flashdc/internal/nand"
+)
+
+// CheckIntegrity audits the cross-layer invariants a fault campaign
+// must never be able to break: every FCHT mapping points at an
+// in-range, valid Flash page whose stored token matches the disk
+// address (no silent data corruption), no mapping lands in a retired
+// block, and the per-block and global valid-page counters agree with
+// the page tables. It charges no device operations and returns the
+// first violation found, or nil.
+func (c *Cache) CheckIntegrity() error {
+	var firstErr error
+	entries := int64(0)
+	c.fcht.Range(func(lba int64, a nand.Addr) bool {
+		entries++
+		if a.Block < 0 || a.Block >= len(c.meta) ||
+			a.Slot < 0 || a.Slot >= nand.SlotsPerBlock || a.Sub < 0 || a.Sub > 1 {
+			firstErr = fmt.Errorf("core: integrity: lba %d maps to out-of-range address %v", lba, a)
+			return false
+		}
+		if c.meta[a.Block].state == blockRetired {
+			firstErr = fmt.Errorf("core: integrity: lba %d maps into retired block %d", lba, a.Block)
+			return false
+		}
+		st := c.fpst.At(a)
+		if !st.Valid || st.LBA != lba {
+			firstErr = fmt.Errorf("core: integrity: lba %d maps to %v holding (valid=%v, lba=%d)",
+				lba, a, st.Valid, st.LBA)
+			return false
+		}
+		tok, ok := c.dev.Peek(a)
+		if !ok {
+			firstErr = fmt.Errorf("core: integrity: lba %d maps to unprogrammed page %v", lba, a)
+			return false
+		}
+		if tok != uint64(lba) {
+			firstErr = fmt.Errorf("core: integrity: DATA CORRUPTION at %v: stored %d, want %d",
+				a, tok, lba)
+			return false
+		}
+		return true
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	if entries != c.totalValid {
+		return fmt.Errorf("core: integrity: FCHT has %d entries, %d pages counted valid",
+			entries, c.totalValid)
+	}
+	var valid int64
+	for b := range c.meta {
+		if c.meta[b].state == blockRetired {
+			continue
+		}
+		n := len(c.validPagesOf(b))
+		if n != c.meta[b].valid {
+			return fmt.Errorf("core: integrity: block %d counts %d valid pages, tables hold %d",
+				b, c.meta[b].valid, n)
+		}
+		valid += int64(n)
+	}
+	if valid != c.totalValid {
+		return fmt.Errorf("core: integrity: %d valid pages in tables, %d counted globally",
+			valid, c.totalValid)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"flashdc/internal/ecc"
 	"flashdc/internal/nand"
 	"flashdc/internal/sim"
 	"flashdc/internal/tables"
@@ -26,6 +27,7 @@ type ReadOutcome struct {
 func (c *Cache) Read(lba int64) ReadOutcome {
 	c.seq++
 	c.stats.Reads++
+	c.pumpEvents()
 	if c.dead {
 		c.stats.Misses++
 		c.fgst.RecordMiss(c.cfg.MissPenalty)
@@ -42,24 +44,34 @@ func (c *Cache) Read(lba int64) ReadOutcome {
 	if err != nil {
 		panic(err)
 	}
+	c.stats.TransientFlips += int64(res.Injected)
+	var retryLat sim.Duration
 	if res.BitErrors > int(st.Strength) {
-		// Uncorrectable: the page's data is lost; serve from disk.
-		c.stats.Uncorrectable++
-		c.stats.Misses++
-		exhausted := !c.cfg.Programmable ||
-			(st.StagedStrength >= maxControllerStrength && st.StagedMode == wear.SLC)
-		block := addr.Block
-		c.invalidate(addr)
-		if exhausted {
-			c.retire(block)
-		} else {
-			c.reconfigure(block, addr, res.BitErrors, c.pageFreq(st))
+		var recovered bool
+		res, retryLat, recovered = c.retryRead(addr, st, res)
+		if !recovered {
+			// Uncorrectable even after the retry ladder: the page's
+			// data is lost; serve from disk.
+			c.stats.Uncorrectable++
+			if res.BitErrors-res.Injected <= int(st.Strength) {
+				c.stats.UncorrectableInjected++
+			}
+			c.stats.Misses++
+			exhausted := !c.cfg.Programmable ||
+				(st.StagedStrength >= maxControllerStrength && st.StagedMode == wear.SLC)
+			block := addr.Block
+			c.invalidate(addr)
+			if exhausted {
+				c.retire(block)
+			} else {
+				c.reconfigure(block, addr, res.BitErrors, c.pageFreq(st))
+			}
+			c.fgst.RecordMiss(c.cfg.MissPenalty)
+			return ReadOutcome{}
 		}
-		c.fgst.RecordMiss(c.cfg.MissPenalty)
-		return ReadOutcome{}
 	}
 
-	lat := res.Latency
+	lat := res.Latency + retryLat
 	if res.BitErrors > 0 || c.cfg.AssumeWorn {
 		lat += c.lat.DecodeLatency(st.Strength)
 	} else {
@@ -87,7 +99,50 @@ func (c *Cache) Read(lba int64) ReadOutcome {
 		}
 	}
 	c.maybeGC()
+	c.maybeScrub()
 	return ReadOutcome{Hit: true, Latency: lat}
+}
+
+// retryRead walks the bounded read-retry ladder after a read exceeded
+// its page's correction capability (section 4.1's controller, extended
+// with the read-retry behaviour of real parts): each attempt re-reads
+// the page — transient injected flips re-sample, so they usually clear
+// — and escalates the effective decode strength one step, up to the
+// hardware limit. It reports the final read, the retry latency (reads
+// plus escalated decodes), and whether the data was salvaged. Without
+// a fault campaign there is nothing transient to retry away, so the
+// ladder is skipped and organic failures surface immediately.
+func (c *Cache) retryRead(addr nand.Addr, st *tables.PageStatus, first nand.ReadResult) (nand.ReadResult, sim.Duration, bool) {
+	if c.dev.FaultInjector() == nil {
+		return first, 0, false
+	}
+	var lat sim.Duration
+	res := first
+	for attempt := 1; attempt <= c.cfg.MaxReadRetries; attempt++ {
+		r, err := c.dev.Read(addr)
+		if err != nil {
+			break
+		}
+		c.stats.ReadRetries++
+		c.stats.TransientFlips += int64(r.Injected)
+		eff := st.Strength + ecc.Strength(attempt)
+		if eff > maxControllerStrength {
+			eff = maxControllerStrength
+		}
+		lat += r.Latency + c.lat.DecodeLatency(eff)
+		if r.BitErrors <= int(eff) {
+			c.stats.RetryRecoveries++
+			if r.BitErrors > int(st.Strength) && c.cfg.Programmable {
+				// The escalated decode was load-bearing: stage a
+				// stronger configuration before the page wears past
+				// the ladder too (section 5.2.1 response).
+				c.reconfigure(addr.Block, addr, r.BitErrors, c.pageFreq(st))
+			}
+			return r, lat, true
+		}
+		res = r
+	}
+	return res, lat, false
 }
 
 // Insert fills a disk page into the read region after a miss was
@@ -96,6 +151,7 @@ func (c *Cache) Read(lba int64) ReadOutcome {
 // already cached refreshes recency only.
 func (c *Cache) Insert(lba int64) sim.Duration {
 	c.seq++
+	c.pumpEvents()
 	if c.dead {
 		return 0
 	}
@@ -114,6 +170,7 @@ func (c *Cache) Insert(lba int64) sim.Duration {
 	st.Access = 1
 	c.fcht.Put(lba, addr)
 	c.maybeGC()
+	c.maybeScrub()
 	return lat
 }
 
@@ -125,6 +182,7 @@ func (c *Cache) Insert(lba int64) sim.Duration {
 func (c *Cache) Write(lba int64) sim.Duration {
 	c.seq++
 	c.stats.Writes++
+	c.pumpEvents()
 	if c.dead {
 		c.stats.FlushedPages++
 		return c.cfg.Backing.WritePage(lba)
@@ -136,10 +194,14 @@ func (c *Cache) Write(lba int64) sim.Duration {
 	addr, lat := c.allocProgram(r, c.allocMode(), lba)
 	lat += c.contentionDelay(lat)
 	if c.dead {
-		return lat
+		// The cache died mid-allocation; the dirty page goes straight
+		// to the backing store instead of being lost.
+		c.stats.FlushedPages++
+		return lat + c.cfg.Backing.WritePage(lba)
 	}
 	c.fcht.Put(lba, addr)
 	c.maybeGC()
+	c.maybeScrub()
 	return lat
 }
 

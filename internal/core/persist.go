@@ -1,10 +1,14 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
+	"flashdc/internal/crcx"
 	"flashdc/internal/ecc"
 	"flashdc/internal/nand"
 	"flashdc/internal/sim"
@@ -13,14 +17,47 @@ import (
 )
 
 // Metadata persistence: the paper keeps the management tables in DRAM
-// at run time but sources them from the disk ("These tables are read
-// from the hard disk drive and stored in DRAM at run-time", section
-// 3). SaveMetadata serialises the FCHT/FPST/FBST state plus the
-// allocator bookkeeping so a cache can shut down and resume with its
-// Flash contents intact — Flash is non-volatile, only the DRAM tables
-// need rebuilding.
+// at run time but sources them from the hard disk ("These tables are
+// read from the hard disk drive and stored in DRAM at run-time",
+// section 3). SaveMetadata serialises the FCHT/FPST/FBST state plus
+// the allocator bookkeeping so a cache can shut down and resume with
+// its Flash contents intact — Flash is non-volatile, only the DRAM
+// tables need rebuilding.
+//
+// Because the image lives on the very disk the cache fronts, a crash
+// mid-write leaves a truncated or torn snapshot. The on-disk format is
+// therefore a self-validating envelope:
+//
+//	offset 0   magic "FDCM" (4 bytes)
+//	offset 4   format version, uint32 little-endian
+//	offset 8   payload length, uint64 little-endian
+//	offset 16  gob-encoded persistImage (payload)
+//	trailer    CRC-32 over header+payload (crcx engine, 4 bytes LE)
+//
+// LoadMetadata refuses anything that fails the magic, length, CRC or
+// semantic validation with an error matching ErrCorruptMetadata; it
+// never builds a cache from a suspect image. RecoverMetadata is the
+// degraded path: same checks, but a rejected image yields a cold
+// (empty) cache plus a RecoveryReport instead of an error — the Flash
+// contents are lost as cache state, but no wrong data is ever served.
 
-// persistImage is the on-disk form. Only exported fields survive gob.
+// ErrCorruptMetadata tags every corruption-class load failure:
+// truncation, bad magic, wrong version, CRC mismatch, gob decode
+// errors and semantically impossible images. Test with errors.Is.
+var ErrCorruptMetadata = errors.New("core: corrupt metadata image")
+
+const (
+	persistVersion    = 2
+	persistMagic      = "FDCM"
+	persistHeaderSize = 16 // magic + version + payload length
+	// persistMaxErases bounds the per-block erase counts a load will
+	// replay. Legitimate images stay far below (SLC endurance is 100k
+	// cycles); the bound stops a crafted image from spinning the
+	// replay loop unboundedly.
+	persistMaxErases = 1 << 20
+)
+
+// persistImage is the payload form. Only exported fields survive gob.
 type persistImage struct {
 	Version    int
 	FlashBytes int64
@@ -55,10 +92,9 @@ type persistBlock struct {
 	EraseCount         int // device-side cycles
 }
 
-const persistVersion = 1
-
-// SaveMetadata writes the management tables to w. The cache must be
-// quiescent (no in-flight operation).
+// SaveMetadata writes the management tables to w inside the
+// self-validating envelope. The cache must be quiescent (no in-flight
+// operation).
 func (c *Cache) SaveMetadata(w io.Writer) error {
 	img := persistImage{
 		Version:    persistVersion,
@@ -106,32 +142,203 @@ func (c *Cache) SaveMetadata(w io.Writer) error {
 			EraseCount: c.dev.EraseCount(b),
 		}
 	}
-	return gob.NewEncoder(w).Encode(&img)
+	return writeEnvelope(w, &img)
+}
+
+// writeEnvelope wraps a payload image in the self-validating envelope:
+// header, gob body, CRC-32 trailer.
+func writeEnvelope(w io.Writer, img *persistImage) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(img); err != nil {
+		return fmt.Errorf("core: encoding metadata: %w", err)
+	}
+	buf := make([]byte, persistHeaderSize, persistHeaderSize+payload.Len()+crcx.Size)
+	copy(buf, persistMagic)
+	binary.LittleEndian.PutUint32(buf[4:], persistVersion)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(payload.Len()))
+	buf = append(buf, payload.Bytes()...)
+	buf = crcx.Append(buf, crcx.Checksum(buf))
+	_, err := w.Write(buf)
+	return err
+}
+
+// decodeEnvelope validates the envelope around a metadata image and
+// gob-decodes the payload. Every failure wraps ErrCorruptMetadata.
+func decodeEnvelope(r io.Reader) (*persistImage, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading image: %v", ErrCorruptMetadata, err)
+	}
+	if len(data) < persistHeaderSize+crcx.Size {
+		return nil, fmt.Errorf("%w: truncated at %d bytes (header needs %d)",
+			ErrCorruptMetadata, len(data), persistHeaderSize+crcx.Size)
+	}
+	if string(data[:4]) != persistMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptMetadata, data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != persistVersion {
+		return nil, fmt.Errorf("%w: format version %d, want %d",
+			ErrCorruptMetadata, v, persistVersion)
+	}
+	plen := binary.LittleEndian.Uint64(data[8:])
+	if plen != uint64(len(data)-persistHeaderSize-crcx.Size) {
+		return nil, fmt.Errorf("%w: payload length %d but %d bytes present",
+			ErrCorruptMetadata, plen, len(data)-persistHeaderSize-crcx.Size)
+	}
+	body := data[:len(data)-crcx.Size]
+	want := crcx.Extract(data[len(data)-crcx.Size:])
+	if got := crcx.Checksum(body); got != want {
+		return nil, fmt.Errorf("%w: CRC %08x, trailer says %08x",
+			ErrCorruptMetadata, got, want)
+	}
+	var img persistImage
+	if err := gob.NewDecoder(bytes.NewReader(body[persistHeaderSize:])).Decode(&img); err != nil {
+		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCorruptMetadata, err)
+	}
+	if img.Version != persistVersion {
+		return nil, fmt.Errorf("%w: payload version %d, want %d",
+			ErrCorruptMetadata, img.Version, persistVersion)
+	}
+	return &img, nil
+}
+
+// validateImage checks that a decoded image is semantically possible
+// for the cache built from the target configuration, before any of it
+// touches the device. The CRC already rules out accidental corruption;
+// this rules out images that are internally inconsistent (saved by a
+// buggy writer, or crafted) and would otherwise build a cache that
+// lies about its contents.
+func validateImage(c *Cache, img *persistImage) error {
+	if img.Blocks != len(c.meta) ||
+		len(img.Pages) != len(c.meta) || len(img.BlocksMeta) != len(c.meta) {
+		return fmt.Errorf("%w: image for %d blocks (tables %d/%d), device has %d",
+			ErrCorruptMetadata, img.Blocks, len(img.Pages), len(img.BlocksMeta), len(c.meta))
+	}
+	seen := make(map[int64]bool)
+	openPer := make(map[int]bool)
+	for b := range img.BlocksMeta {
+		pb := &img.BlocksMeta[b]
+		if pb.State > uint8(blockRetired) {
+			return fmt.Errorf("%w: block %d in impossible state %d", ErrCorruptMetadata, b, pb.State)
+		}
+		if pb.Region < 0 || pb.Region >= len(c.regions) {
+			return fmt.Errorf("%w: block %d in region %d of %d", ErrCorruptMetadata, b, pb.Region, len(c.regions))
+		}
+		if blockLifecycle(pb.State) == blockOpen {
+			if openPer[pb.Region] {
+				return fmt.Errorf("%w: region %d has two open blocks", ErrCorruptMetadata, pb.Region)
+			}
+			openPer[pb.Region] = true
+		}
+		if pb.CursorSlot < 0 || pb.CursorSlot > nand.SlotsPerBlock ||
+			pb.Sub < 0 || pb.Sub > 1 {
+			return fmt.Errorf("%w: block %d cursor %d/%d out of range", ErrCorruptMetadata, b, pb.CursorSlot, pb.Sub)
+		}
+		if pb.Consumed < 0 || pb.Consumed > 2*nand.SlotsPerBlock ||
+			pb.Valid < 0 || pb.Valid > pb.Consumed {
+			return fmt.Errorf("%w: block %d claims %d valid of %d consumed pages",
+				ErrCorruptMetadata, b, pb.Valid, pb.Consumed)
+		}
+		if pb.EraseCount < 0 || pb.EraseCount > persistMaxErases {
+			return fmt.Errorf("%w: block %d erase count %d out of range", ErrCorruptMetadata, b, pb.EraseCount)
+		}
+		if pb.Erases < 0 || pb.TotalECC < 0 || pb.TotalSLC < 0 {
+			return fmt.Errorf("%w: block %d has negative wear statistics", ErrCorruptMetadata, b)
+		}
+		if len(img.Pages[b]) != nand.SlotsPerBlock {
+			return fmt.Errorf("%w: block %d has %d slots, want %d",
+				ErrCorruptMetadata, b, len(img.Pages[b]), nand.SlotsPerBlock)
+		}
+		valid := 0
+		for s := 0; s < nand.SlotsPerBlock; s++ {
+			for sub := 0; sub < 2; sub++ {
+				pp := &img.Pages[b][s][sub]
+				if pp.Strength < 1 || pp.Strength > ecc.MaxStrength ||
+					pp.StagedStrength < 1 || pp.StagedStrength > ecc.MaxStrength {
+					return fmt.Errorf("%w: page b%d/s%d/%d ECC strength %d/%d out of range",
+						ErrCorruptMetadata, b, s, sub, pp.Strength, pp.StagedStrength)
+				}
+				if pp.Mode > wear.MLC || pp.StagedMode > wear.MLC {
+					return fmt.Errorf("%w: page b%d/s%d/%d in unknown density mode",
+						ErrCorruptMetadata, b, s, sub)
+				}
+				if !pp.Valid {
+					continue
+				}
+				valid++
+				if pp.LBA < 0 {
+					return fmt.Errorf("%w: page b%d/s%d/%d caches negative LBA %d",
+						ErrCorruptMetadata, b, s, sub, pp.LBA)
+				}
+				if seen[pp.LBA] {
+					return fmt.Errorf("%w: LBA %d cached twice", ErrCorruptMetadata, pp.LBA)
+				}
+				seen[pp.LBA] = true
+				if sub == 1 && img.Pages[b][s][0].Mode != wear.MLC {
+					return fmt.Errorf("%w: SLC slot b%d/s%d claims a second sub-page",
+						ErrCorruptMetadata, b, s)
+				}
+			}
+			if img.Pages[b][s][0].Mode != img.Pages[b][s][1].Mode {
+				return fmt.Errorf("%w: slot b%d/s%d sub-pages disagree on density", ErrCorruptMetadata, b, s)
+			}
+		}
+		if valid != pb.Valid {
+			return fmt.Errorf("%w: block %d counts %d valid pages, page table holds %d",
+				ErrCorruptMetadata, b, pb.Valid, valid)
+		}
+		switch blockLifecycle(pb.State) {
+		case blockFree:
+			if valid != 0 {
+				return fmt.Errorf("%w: free block %d holds %d valid pages", ErrCorruptMetadata, b, valid)
+			}
+		case blockRetired:
+			if valid != 0 {
+				return fmt.Errorf("%w: retired block %d holds %d valid pages", ErrCorruptMetadata, b, valid)
+			}
+			if !pb.Retired {
+				return fmt.Errorf("%w: block %d retired in allocator but not in FBST", ErrCorruptMetadata, b)
+			}
+		}
+	}
+	return nil
 }
 
 // LoadMetadata rebuilds a cache from a metadata image and the original
 // configuration. The configuration must match the one the image was
 // saved under (same FlashBytes, Split, Seed — the Flash contents and
 // wear state are reconstructed deterministically from them).
+//
+// A truncated, bit-flipped or internally inconsistent image is
+// rejected with an error wrapping ErrCorruptMetadata; the function
+// never returns a cache built from a suspect image. See
+// RecoverMetadata for the degraded cold-start path.
 func LoadMetadata(cfg Config, r io.Reader) (*Cache, error) {
-	var img persistImage
-	if err := gob.NewDecoder(r).Decode(&img); err != nil {
-		return nil, fmt.Errorf("core: decoding metadata: %w", err)
-	}
-	if img.Version != persistVersion {
-		return nil, fmt.Errorf("core: metadata version %d, want %d", img.Version, persistVersion)
+	img, err := decodeEnvelope(r)
+	if err != nil {
+		return nil, err
 	}
 	if img.FlashBytes != cfg.FlashBytes {
 		return nil, fmt.Errorf("core: metadata for %dB Flash, config says %dB",
 			img.FlashBytes, cfg.FlashBytes)
 	}
 	c := New(cfg)
-	if len(c.meta) != img.Blocks {
-		return nil, fmt.Errorf("core: metadata for %d blocks, device has %d",
-			img.Blocks, len(c.meta))
+	if err := validateImage(c, img); err != nil {
+		return nil, err
 	}
 
-	// Rebuild regions from scratch.
+	// The replay below re-issues the image's erase/program history
+	// against the fresh device. That history already happened — the
+	// fault injector must not see it, or a campaign's randomness would
+	// be consumed (breaking determinism) and replay ops could
+	// spuriously fail.
+	injector := c.dev.FaultInjector()
+	c.dev.SetFaultInjector(nil)
+	defer c.dev.SetFaultInjector(injector)
+
+	// Rebuild regions and counters from scratch. New() pre-counted
+	// factory-bad blocks into the statistics; the image replay below
+	// recounts every retired block, so start from zero.
 	for _, r := range c.regions {
 		r.free = nil
 		r.open = -1
@@ -140,6 +347,7 @@ func LoadMetadata(cfg Config, r io.Reader) (*Cache, error) {
 	}
 	c.totalValid = 0
 	c.fcht = tables.NewFCHT()
+	c.stats = Stats{}
 
 	for b := range c.meta {
 		pb := img.BlocksMeta[b]
@@ -226,4 +434,31 @@ func LoadMetadata(cfg Config, r io.Reader) (*Cache, error) {
 	c.fgst.ECCReconfigs = img.ECCReconfigs
 	c.fgst.DensityReconfigs = img.DensityReconfigs
 	return c, nil
+}
+
+// RecoveryReport describes how a cache came back from a metadata
+// image.
+type RecoveryReport struct {
+	// ColdStart is true when the image was rejected and the cache was
+	// rebuilt empty. The Flash contents are abandoned as cache state
+	// (they are only a cache — the disk still holds every page), so no
+	// data is lost and no wrong data can be served; the cost is a cold
+	// miss stream while the cache refills.
+	ColdStart bool
+	// Err is the load failure that forced the cold start, nil when the
+	// image loaded cleanly. errors.Is(Err, ErrCorruptMetadata)
+	// distinguishes corruption from configuration mismatches.
+	Err error
+}
+
+// RecoverMetadata is the crash-tolerant variant of LoadMetadata: it
+// tries the image and, when that fails for any reason, falls back to a
+// cold-started cache instead of propagating the error. The returned
+// cache is always usable.
+func RecoverMetadata(cfg Config, r io.Reader) (*Cache, RecoveryReport) {
+	c, err := LoadMetadata(cfg, r)
+	if err == nil {
+		return c, RecoveryReport{}
+	}
+	return New(cfg), RecoveryReport{ColdStart: true, Err: err}
 }

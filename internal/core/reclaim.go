@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"errors"
 
 	"flashdc/internal/ecc"
 	"flashdc/internal/nand"
@@ -12,7 +13,9 @@ import (
 // applyStagedAndErase erases block b, applies every staged page
 // configuration (section 5.2: "updated page settings are applied on
 // the next erase and write access"), resets the cache metadata, and
-// returns the erase latency. Valid pages must already be gone.
+// returns the erase latency. Valid pages must already be gone. An
+// erase failure retires the block (the grown-bad-block response);
+// callers observe this through the block's state, never an error.
 func (c *Cache) applyStagedAndErase(b int) sim.Duration {
 	m := &c.meta[b]
 	if m.valid != 0 {
@@ -20,8 +23,14 @@ func (c *Cache) applyStagedAndErase(b int) sim.Duration {
 	}
 	lat, err := c.dev.Erase(b)
 	if err != nil {
+		if errors.Is(err, nand.ErrEraseFailed) {
+			c.stats.EraseFailures++
+			c.retire(b)
+			return lat
+		}
 		panic(err)
 	}
+	m.progFails = 0
 	c.fbst.At(b).Erases++
 	for s := 0; s < nand.SlotsPerBlock; s++ {
 		slotAddr := nand.Addr{Block: b, Slot: s}
@@ -127,7 +136,11 @@ func (c *Cache) retire(b int) {
 	r := c.regions[m.region]
 	switch m.state {
 	case blockOpen:
-		r.open = -1
+		// Guard against a block tagged open while detached from the
+		// region (mid-migration): only clear the slot it occupies.
+		if r.open == b {
+			r.open = -1
+		}
 	case blockActive:
 		if m.elem != nil {
 			r.lru.Remove(m.elem)
@@ -324,8 +337,22 @@ func (c *Cache) maybeWearRotate(b int) bool {
 			continue
 		}
 		if _, err := c.dev.Program(dst, uint64(lba)); err != nil {
+			if errors.Is(err, nand.ErrProgramFailed) {
+				// Slot burned mid-migration: salvage the page the
+				// same way as a capacity shortfall. Retirement (if
+				// the block keeps failing) waits until b's region
+				// bookkeeping is consistent again.
+				c.stats.ProgramFailures++
+				c.noteProgramFailure(b, false)
+				if nm.region == c.writeRegionIndex() && len(c.regions) == 2 {
+					c.stats.FlushedPages++
+					c.cfg.Backing.WritePage(lba)
+				}
+				continue
+			}
 			panic(err)
 		}
+		c.meta[b].progFails = 0
 		d := c.fpst.At(dst)
 		d.Valid = true
 		d.LBA = lba
@@ -436,6 +463,7 @@ func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
 		return 0 // not enough headroom to relocate safely
 	}
 	var t sim.Duration
+	dirty := r.id == c.writeRegionIndex() && len(c.regions) == 2
 	pages := c.validPagesOf(best)
 	r.lru.Remove(bestElem)
 	m.elem = nil
@@ -454,6 +482,12 @@ func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
 		c.invalidate(a)
 		dst, lat := c.allocProgram(r, mode, lba)
 		if c.dead {
+			// Allocation collapsed mid-relocation (mass retirement
+			// under a fault campaign): salvage the in-flight page.
+			if dirty {
+				c.stats.FlushedPages++
+				c.cfg.Backing.WritePage(lba)
+			}
 			break
 		}
 		t += lat
@@ -464,6 +498,15 @@ func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
 		c.stats.GCRelocations++
 	}
 	c.stats.GCRuns++
+	// A dead break above leaves unrelocated pages behind; drop (after
+	// flushing dirty data) so the erase invariant holds.
+	for _, a := range c.validPagesOf(best) {
+		if dirty {
+			c.stats.FlushedPages++
+			c.cfg.Backing.WritePage(c.fpst.At(a).LBA)
+		}
+		c.invalidate(a)
+	}
 	if c.meta[best].state != blockRetired {
 		t += c.applyStagedAndErase(best)
 		if c.meta[best].state == blockFree {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"errors"
 
 	"flashdc/internal/nand"
 	"flashdc/internal/sim"
@@ -41,6 +42,9 @@ type blockMeta struct {
 	accessSum uint64
 	// lastEraseSeq is the cache access sequence at the last erase.
 	lastEraseSeq uint64
+	// progFails counts consecutive program failures; at
+	// ProgramFailLimit the block is retired as grown-bad.
+	progFails int
 }
 
 // region is one disk-cache partition (read or write), owning a
@@ -189,17 +193,35 @@ func (c *Cache) openBlock(r *region, b int) {
 
 // allocProgram obtains a free page of the requested density in the
 // region, programs it with the LBA token, and registers the page as
-// valid. It reclaims space as needed and returns the program latency.
+// valid. It reclaims space as needed, remaps around program failures
+// (the burned slot is skipped; the data retries on the next free
+// page), and returns the accumulated program latency. The attempt
+// bound covers the worst legitimate case — every page position of
+// every block failing before space appears — so a true no-progress
+// loop still trips it.
 func (c *Cache) allocProgram(r *region, mode wear.Mode, lba int64) (nand.Addr, sim.Duration) {
+	var lat sim.Duration
 	for attempt := 0; ; attempt++ {
-		if attempt > 2*len(c.meta)+8 {
+		if attempt > 2*len(c.meta)*nand.SlotsPerBlock+64 {
 			panic("core: allocator made no progress")
 		}
 		if addr, ok := c.tryAlloc(r, mode); ok {
-			lat, err := c.dev.Program(addr, uint64(lba))
+			plat, err := c.dev.Program(addr, uint64(lba))
+			lat += plat
 			if err != nil {
+				if errors.Is(err, nand.ErrProgramFailed) {
+					// The slot is burned but the data is safe in the
+					// caller's hands: count the failure, retire the
+					// block if it keeps failing, and remap to the
+					// next free page.
+					c.stats.ProgramFailures++
+					c.stats.Remaps++
+					c.noteProgramFailure(addr.Block, true)
+					continue
+				}
 				panic(err)
 			}
+			c.meta[addr.Block].progFails = 0
 			st := c.fpst.At(addr)
 			st.Valid = true
 			st.LBA = lba
@@ -210,13 +232,26 @@ func (c *Cache) allocProgram(r *region, mode wear.Mode, lba int64) (nand.Addr, s
 			return addr, lat
 		}
 		if c.dead {
-			return nand.Addr{}, 0
+			return nand.Addr{}, lat
 		}
 		if b := r.popFree(); b >= 0 {
 			c.openBlock(r, b)
 			continue
 		}
 		c.reclaim(r)
+	}
+}
+
+// noteProgramFailure records one program failure on block b and, when
+// allowed, retires the block after ProgramFailLimit consecutive
+// failures (the grown-bad-block response of real controllers).
+// Retirement is deferred when the caller is mid-migration and the
+// block's region bookkeeping is transiently inconsistent.
+func (c *Cache) noteProgramFailure(b int, allowRetire bool) {
+	m := &c.meta[b]
+	m.progFails++
+	if allowRetire && m.progFails >= c.cfg.ProgramFailLimit {
+		c.retire(b)
 	}
 }
 

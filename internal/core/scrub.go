@@ -1,0 +1,152 @@
+package core
+
+import (
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/wear"
+)
+
+// Background scrubber: cold pages accumulate wear (and, under fault
+// campaigns, risk) without ever being read, so the read-time
+// reconfiguration heuristic never sees them — until they are
+// unreadable. The scrubber patrols the page population in the
+// background and rewrites valid pages whose bit-error count has
+// reached their correction capability, moving the data to healthy
+// space before the next wear step silently destroys it.
+//
+// Two triggers drive it: an operation-count trigger (every ScrubEvery
+// host operations, maybeScrub runs one increment) and, when a clock is
+// attached, events scheduled on the cache's event queue every
+// ScrubPeriod of simulated time — the same background-work accounting
+// GC uses, including device occupancy.
+
+// maybeScrub runs one scrub increment every ScrubEvery host
+// operations. When the clock-driven scheduler is active it stands
+// down — the event queue owns the cadence.
+func (c *Cache) maybeScrub() {
+	if c.cfg.ScrubEvery <= 0 || c.dead {
+		return
+	}
+	if c.clock != nil && c.cfg.ScrubPeriod > 0 {
+		return
+	}
+	c.scrubTick++
+	if c.scrubTick%uint64(c.cfg.ScrubEvery) == 0 {
+		c.scrubStep()
+	}
+}
+
+// scheduleScrub arms the next clock-driven scrub event.
+func (c *Cache) scheduleScrub() {
+	if c.clock == nil || c.cfg.ScrubPeriod <= 0 {
+		return
+	}
+	c.events.Schedule(c.clock.Now().Add(c.cfg.ScrubPeriod), func(sim.Time) {
+		c.scrubStep()
+		c.scheduleScrub()
+	})
+}
+
+// scrubStep examines up to ScrubBatch pages from the scan cursor and
+// migrates the at-risk ones. The spent time is background (like GC):
+// it occupies the device but never a foreground request directly.
+func (c *Cache) scrubStep() sim.Duration {
+	if c.dead {
+		return 0
+	}
+	var t sim.Duration
+	for i := 0; i < c.cfg.ScrubBatch; i++ {
+		a := c.nextScrubAddr()
+		if a.Block < 0 {
+			break // no scannable blocks at all
+		}
+		c.stats.ScrubScans++
+		st := c.fpst.At(a)
+		if !st.Valid {
+			continue
+		}
+		if c.dev.BitErrors(a) < int(st.Strength) {
+			continue
+		}
+		t += c.scrubMigrate(a)
+		if c.dead {
+			break
+		}
+	}
+	c.stats.ScrubTime += t
+	c.occupyDevice(t)
+	return t
+}
+
+// nextScrubAddr advances the patrol cursor one page, skipping retired
+// blocks and (in MLC slots) visiting both sub-pages. A Block of -1
+// reports that no scannable block exists.
+func (c *Cache) nextScrubAddr() nand.Addr {
+	for tries := 0; tries < 2*len(c.meta)*nand.SlotsPerBlock; tries++ {
+		if c.scrubBlock >= len(c.meta) {
+			c.scrubBlock = 0
+		}
+		b := c.scrubBlock
+		if c.meta[b].state == blockRetired {
+			c.scrubBlock++
+			c.scrubSlot, c.scrubSub = 0, 0
+			continue
+		}
+		a := nand.Addr{Block: b, Slot: c.scrubSlot, Sub: c.scrubSub}
+		// Advance for next call.
+		subs := 1
+		if c.dev.Mode(nand.Addr{Block: b, Slot: c.scrubSlot}) == wear.MLC {
+			subs = 2
+		}
+		if c.scrubSub+1 < subs {
+			c.scrubSub++
+		} else {
+			c.scrubSub = 0
+			c.scrubSlot++
+			if c.scrubSlot >= nand.SlotsPerBlock {
+				c.scrubSlot = 0
+				c.scrubBlock++
+			}
+		}
+		return a
+	}
+	return nand.Addr{Block: -1}
+}
+
+// scrubMigrate relocates one at-risk page into fresh space in its own
+// region, preserving its density, access heat and staged strength, and
+// stages a stronger configuration on the source slot so the block's
+// next erase hardens it. Returns the background time spent.
+func (c *Cache) scrubMigrate(a nand.Addr) sim.Duration {
+	st := c.fpst.At(a)
+	lba, mode, access, staged := st.LBA, st.Mode, st.Access, st.StagedStrength
+	region := c.regions[c.meta[a.Block].region]
+	res, err := c.dev.Read(a)
+	if err != nil {
+		return 0 // raced with retirement; nothing to save
+	}
+	t := res.Latency
+	if c.cfg.Programmable {
+		// The page proved too weak for its configuration: stage the
+		// section 5.2.1 response for its next life.
+		c.reconfigure(a.Block, a, res.BitErrors, c.pageFreq(st))
+	}
+	c.invalidate(a)
+	dst, lat := c.allocProgram(region, mode, lba)
+	if c.dead {
+		// Allocation collapsed (mass retirement): the page can no
+		// longer live in Flash, so flush dirty data instead of losing it.
+		if region.id == c.writeRegionIndex() && len(c.regions) == 2 {
+			c.stats.FlushedPages++
+			c.cfg.Backing.WritePage(lba)
+		}
+		return t
+	}
+	t += lat
+	d := c.fpst.At(dst)
+	d.Access = access
+	d.StagedStrength = maxStrength(d.StagedStrength, staged)
+	c.fcht.Put(lba, dst)
+	c.stats.ScrubMigrations++
+	return t
+}

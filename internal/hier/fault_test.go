@@ -1,0 +1,134 @@
+package hier
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"flashdc/internal/core"
+	"flashdc/internal/fault"
+	"flashdc/internal/workload"
+)
+
+// campaignSystem assembles a hierarchy whose Flash tier runs under a
+// deterministic fault campaign with the background scrubber on.
+func campaignSystem(seed uint64) *System {
+	fc := core.DefaultConfig(8 * mb)
+	fc.Faults = &fault.Plan{
+		Seed:            seed + 100,
+		ReadFlipRate:    2e-3,
+		ProgramFailRate: 1e-3,
+		EraseFailRate:   1e-2,
+		GrownBadRate:    0.25,
+	}
+	fc.ScrubEvery = 256
+	return New(Config{
+		DRAMBytes:  1 * mb,
+		FlashBytes: 8 * mb,
+		Flash:      fc,
+		Seed:       seed,
+	})
+}
+
+// TestFaultCampaign100k is the headline robustness run: 100k requests
+// under nonzero read/program/erase fault rates must complete with zero
+// data corruption (per the hierarchy's integrity audit), with the
+// retry, remap and retirement machinery all demonstrably exercised,
+// and with the whole run bit-for-bit reproducible from the seed.
+func TestFaultCampaign100k(t *testing.T) {
+	run := func() (core.Stats, fault.Stats, int64) {
+		s := campaignSystem(7)
+		g := workload.MustNew("uniform", 1.0/16, 7)
+		for i := 0; i < 100000; i++ {
+			s.Handle(g.Next())
+		}
+		s.Drain()
+		if err := s.CheckIntegrity(); err != nil {
+			t.Fatalf("data corruption after campaign: %v", err)
+		}
+		return s.Flash().Stats(), s.Flash().FaultStats(), s.Flash().ValidPages()
+	}
+	st, fs, valid := run()
+
+	if fs.ReadFlips == 0 || fs.ProgramFails == 0 || fs.EraseFails == 0 {
+		t.Fatalf("campaign injected too little: %+v", fs)
+	}
+	if st.ReadRetries == 0 {
+		t.Fatalf("no read retries despite %d injected flip events", fs.ReadInjections)
+	}
+	if st.Remaps == 0 || st.ProgramFailures == 0 {
+		t.Fatalf("no remap activity despite %d program failures", fs.ProgramFails)
+	}
+	if st.RetiredBlocks == 0 {
+		t.Fatalf("no block retired despite %d grown-bad escalations", fs.GrownBad)
+	}
+	if st.ScrubScans == 0 {
+		t.Fatal("scrubber never ran")
+	}
+	if valid == 0 {
+		t.Fatal("cache ended the campaign empty")
+	}
+
+	st2, fs2, valid2 := run()
+	if st != st2 || fs != fs2 || valid != valid2 {
+		t.Fatalf("same seed, different campaign:\nstats  %+v\n    vs %+v\nfaults %+v vs %+v\nvalid %d vs %d",
+			st, st2, fs, fs2, valid, valid2)
+	}
+}
+
+// TestBypassOnCorruptMetadata covers the degraded boot path: a node
+// restarting with a torn Flash metadata snapshot must come up serving
+// correct data from DRAM + disk, with the Flash tier bypassed and the
+// rejection reason surfaced.
+func TestBypassOnCorruptMetadata(t *testing.T) {
+	// Save a warm image through a first system.
+	fc := core.DefaultConfig(16 * mb)
+	fc.Seed = 11
+	donor := core.New(fc)
+	for lba := int64(0); lba < 1000; lba++ {
+		donor.Insert(lba)
+	}
+	var img bytes.Buffer
+	if err := donor.SaveMetadata(&img); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean image: Flash tier comes up warm.
+	s := New(Config{
+		DRAMBytes: 1 * mb, FlashBytes: 16 * mb, Flash: fc, Seed: 11,
+		FlashMetadata: bytes.NewReader(img.Bytes()),
+	})
+	if s.FlashLoadErr() != nil {
+		t.Fatalf("clean image rejected: %v", s.FlashLoadErr())
+	}
+	if s.Flash() == nil || s.Flash().ValidPages() == 0 {
+		t.Fatal("warm boot came up cold")
+	}
+
+	// Torn image (crash mid-write): Flash tier bypassed, system works.
+	torn := img.Bytes()[:img.Len()/2]
+	s = New(Config{
+		DRAMBytes: 1 * mb, FlashBytes: 16 * mb, Flash: fc, Seed: 11,
+		FlashMetadata: bytes.NewReader(torn),
+	})
+	if s.Flash() != nil {
+		t.Fatal("corrupt metadata did not bypass the Flash tier")
+	}
+	if !errors.Is(s.FlashLoadErr(), core.ErrCorruptMetadata) {
+		t.Fatalf("load error %v not tagged ErrCorruptMetadata", s.FlashLoadErr())
+	}
+	g := workload.MustNew("SPECWeb99", 1.0/64, 13)
+	for i := 0; i < 5000; i++ {
+		s.Handle(g.Next())
+	}
+	st := s.Stats()
+	if st.FlashHits != 0 {
+		t.Fatal("bypassed Flash tier served hits")
+	}
+	if st.PDCHits == 0 || st.DiskReads == 0 {
+		t.Fatalf("degraded system not serving: %+v", st)
+	}
+	if err := s.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,6 +9,7 @@ package hier
 
 import (
 	"fmt"
+	"io"
 
 	"flashdc/internal/core"
 	"flashdc/internal/disk"
@@ -45,6 +46,12 @@ type Config struct {
 	PDCPolicy dram.Policy
 	// Seed drives the Flash wear sampling.
 	Seed uint64
+	// FlashMetadata optionally supplies a saved metadata image to warm
+	// the Flash cache from. A corrupt or mismatched image does not
+	// abort assembly: the Flash cache is bypassed (DRAM + disk only)
+	// and FlashLoadErr reports why, so a crashed node always comes
+	// back serving correct data.
+	FlashMetadata io.Reader
 }
 
 // Stats aggregates hierarchy-level behaviour.
@@ -77,6 +84,9 @@ type System struct {
 	flash *core.Cache // nil in the DRAM-only baseline
 	disk  *disk.Disk
 	stats Stats
+	// flashLoadErr records why a supplied metadata image was rejected
+	// and the Flash cache bypassed; nil otherwise.
+	flashLoadErr error
 	// latencies records per-page foreground latency for percentile
 	// reporting.
 	latencies sim.Histogram
@@ -109,12 +119,39 @@ func New(cfg Config) *System {
 		fc.Seed = cfg.Seed
 		fc.Backing = diskBacking{s.disk}
 		fc.MissPenalty = s.disk.Config().ReadLatency
-		s.flash = core.New(fc)
+		if cfg.FlashMetadata != nil {
+			flash, err := core.LoadMetadata(fc, cfg.FlashMetadata)
+			if err != nil {
+				// Degraded path: the snapshot is suspect, so drop the
+				// Flash level entirely rather than trust it. The disk
+				// holds every page; only hit rate is lost.
+				s.flashLoadErr = err
+				return s
+			}
+			s.flash = flash
+		} else {
+			s.flash = core.New(fc)
+		}
 		if cfg.FlashContention {
 			s.flash.AttachClock(&s.clock)
 		}
 	}
 	return s
+}
+
+// FlashLoadErr reports why the Flash cache was bypassed after a
+// rejected metadata image (nil when the cache is live or was never
+// configured).
+func (s *System) FlashLoadErr() error { return s.flashLoadErr }
+
+// CheckIntegrity audits the Flash cache's mapping tables against the
+// device contents (see core.Cache.CheckIntegrity). It returns nil in
+// the DRAM-only baseline and when the Flash level is bypassed.
+func (s *System) CheckIntegrity() error {
+	if s.flash == nil {
+		return nil
+	}
+	return s.flash.CheckIntegrity()
 }
 
 // Flash exposes the Flash cache, or nil for the DRAM-only baseline.

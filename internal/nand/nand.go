@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 
+	"flashdc/internal/fault"
 	"flashdc/internal/sim"
 	"flashdc/internal/wear"
 )
@@ -94,6 +95,13 @@ type Config struct {
 	// experiments run in reasonable simulated volume. 0 means 1
 	// (real time).
 	WearAcceleration float64
+	// Faults, when non-nil, is consulted on every Read, Program and
+	// Erase to inject transient flips and operation failures.
+	Faults *fault.Injector
+	// FactoryBadBlocks are marked bad before first use, like the
+	// shipped bad-block list of a real part. The controller must skip
+	// them (Retired reports true for them from birth).
+	FactoryBadBlocks []int
 }
 
 // BlocksForCapacity returns the number of blocks needed to reach the
@@ -120,13 +128,22 @@ func (a Addr) String() string {
 	return fmt.Sprintf("b%d/s%d.%d", a.Block, a.Slot, a.Sub)
 }
 
-// Device errors.
+// Device errors. ErrProgramFailed and ErrEraseFailed are operation
+// status failures a real controller must expect and recover from;
+// both are errors.Is-able through the wrapped returns.
 var (
 	ErrBadAddress     = errors.New("nand: address out of range")
 	ErrNotErased      = errors.New("nand: programming a page that is not erased")
 	ErrNotProgrammed  = errors.New("nand: reading a page that was never programmed")
 	ErrRetired        = errors.New("nand: block is retired")
 	ErrModeWhileInUse = errors.New("nand: mode change on a programmed slot")
+	// ErrProgramFailed reports a program-status failure: the target
+	// page is burned (unusable until the block is erased) but holds
+	// garbage. The controller must remap the data elsewhere.
+	ErrProgramFailed = errors.New("nand: program operation failed")
+	// ErrEraseFailed reports an erase failure: the block keeps its
+	// prior contents. Repeated erase failures mean a grown bad block.
+	ErrEraseFailed = errors.New("nand: erase operation failed")
 )
 
 type slotState struct {
@@ -143,6 +160,12 @@ type blockState struct {
 	slots      []slotState
 	eraseCount int
 	retired    bool
+	// factoryBad marks a block bad from birth (shipped bad-block list).
+	factoryBad bool
+	// grownBad marks a block whose program/erase failure was
+	// permanent: every later program and erase on it fails until the
+	// controller retires it.
+	grownBad bool
 }
 
 // Stats counts device operations and accumulated busy time, the raw
@@ -199,8 +222,30 @@ func New(cfg Config) *Device {
 		}
 		d.blocks[b].slots = slots
 	}
+	for _, b := range cfg.FactoryBadBlocks {
+		if b >= 0 && b < len(d.blocks) {
+			d.blocks[b].factoryBad = true
+			d.blocks[b].retired = true
+		}
+	}
 	return d
 }
+
+// FaultInjector returns the attached fault injector (nil when the
+// device runs fault-free).
+func (d *Device) FaultInjector() *fault.Injector { return d.cfg.Faults }
+
+// SetFaultInjector attaches (or with nil detaches) the fault injector.
+// The metadata-restore replay uses this to rebuild device state
+// without consuming campaign randomness.
+func (d *Device) SetFaultInjector(in *fault.Injector) { d.cfg.Faults = in }
+
+// FactoryBad reports whether block b was bad from birth.
+func (d *Device) FactoryBad(b int) bool { return d.blocks[b].factoryBad }
+
+// GrownBad reports whether block b suffered a permanent failure during
+// operation.
+func (d *Device) GrownBad(b int) bool { return d.blocks[b].grownBad }
 
 // Blocks returns the number of erase blocks.
 func (d *Device) Blocks() int { return len(d.blocks) }
@@ -254,9 +299,14 @@ func (d *Device) Retire(b int) { d.blocks[b].retired = true }
 type ReadResult struct {
 	// Data is the stored payload token.
 	Data uint64
-	// BitErrors is how many cells have worn out in this page; the
-	// controller compares it against the configured ECC strength.
+	// BitErrors is how many cells read wrong in this page — organic
+	// wear-out plus any injected transient flips; the controller
+	// compares it against the configured ECC strength.
 	BitErrors int
+	// Injected is the transient (fault-injected) share of BitErrors.
+	// Unlike wear errors, injected flips re-sample on every read, so a
+	// retry can come back clean.
+	Injected int
 	// Latency is the raw array access time (excludes ECC decode).
 	Latency sim.Duration
 }
@@ -277,9 +327,11 @@ func (d *Device) Read(a Addr) (ReadResult, error) {
 	lat := d.cfg.Timing.Read(sl.mode)
 	d.stats.Reads++
 	d.stats.ReadTime += lat
+	injected := d.cfg.Faults.ReadFlips(a.Block)
 	return ReadResult{
 		Data:      sl.data[a.Sub],
-		BitErrors: sl.wear.FailedBits(float64(blk.eraseCount)*d.cfg.WearAcceleration, sl.mode),
+		BitErrors: sl.wear.FailedBits(float64(blk.eraseCount)*d.cfg.WearAcceleration, sl.mode) + injected,
+		Injected:  injected,
 		Latency:   lat,
 	}, nil
 }
@@ -307,12 +359,38 @@ func (d *Device) Program(a Addr, data uint64) (sim.Duration, error) {
 	if sl.programmed[a.Sub] {
 		return 0, fmt.Errorf("%w: %v", ErrNotErased, a)
 	}
-	sl.programmed[a.Sub] = true
-	sl.data[a.Sub] = data
 	lat := d.cfg.Timing.Write(sl.mode)
 	d.stats.Programs++
 	d.stats.ProgramTime += lat
+	fail := blk.grownBad
+	if !fail {
+		var grown bool
+		fail, grown = d.cfg.Faults.ProgramFails(a.Block)
+		if grown {
+			blk.grownBad = true
+		}
+	}
+	if fail {
+		// The page is burned — unusable until erase — but holds no
+		// valid data. The controller must remap elsewhere.
+		sl.programmed[a.Sub] = true
+		sl.data[a.Sub] = 0
+		return lat, fmt.Errorf("%w: %v", ErrProgramFailed, a)
+	}
+	sl.programmed[a.Sub] = true
+	sl.data[a.Sub] = data
 	return lat, nil
+}
+
+// Peek returns the stored token of a programmed page without charging
+// a device operation or consulting the fault injector. It exists for
+// integrity audits, not the data path.
+func (d *Device) Peek(a Addr) (uint64, bool) {
+	_, sl, err := d.slot(a)
+	if err != nil || !sl.programmed[a.Sub] {
+		return 0, false
+	}
+	return sl.data[a.Sub], true
 }
 
 // Programmed reports whether page a currently holds data.
@@ -352,10 +430,27 @@ func (d *Device) Erase(b int) (sim.Duration, error) {
 	}
 	mode := wear.SLC
 	for i := range blk.slots {
-		sl := &blk.slots[i]
-		if sl.mode == wear.MLC {
+		if blk.slots[i].mode == wear.MLC {
 			mode = wear.MLC
 		}
+	}
+	lat := d.cfg.Timing.Erase(mode)
+	d.stats.Erases++
+	d.stats.EraseTime += lat
+	fail := blk.grownBad
+	if !fail {
+		var grown bool
+		fail, grown = d.cfg.Faults.EraseFails(b)
+		if grown {
+			blk.grownBad = true
+		}
+	}
+	if fail {
+		// The block keeps its prior contents; no wear cycle accrues.
+		return lat, fmt.Errorf("%w: block %d", ErrEraseFailed, b)
+	}
+	for i := range blk.slots {
+		sl := &blk.slots[i]
 		sl.programmed[0] = false
 		sl.programmed[1] = false
 		sl.data[0] = 0
@@ -363,9 +458,6 @@ func (d *Device) Erase(b int) (sim.Duration, error) {
 		sl.payload = nil
 	}
 	blk.eraseCount++
-	lat := d.cfg.Timing.Erase(mode)
-	d.stats.Erases++
-	d.stats.EraseTime += lat
 	return lat, nil
 }
 

@@ -49,6 +49,16 @@ func (f *FCHT) Delete(lba int64) { delete(f.m, lba) }
 // Len returns the number of cached disk pages.
 func (f *FCHT) Len() int { return len(f.m) }
 
+// Range calls fn for every cached mapping until fn returns false.
+// Iteration order is unspecified; fn must not mutate the table.
+func (f *FCHT) Range(fn func(lba int64, addr nand.Addr) bool) {
+	for lba, a := range f.m {
+		if !fn(lba, a) {
+			return
+		}
+	}
+}
+
 // PageStatus is one FPST entry (section 3.2). Strength and Mode are
 // the page's active configuration; the Staged fields hold the
 // controller's pending reconfiguration, applied on the next erase and
