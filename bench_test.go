@@ -7,6 +7,7 @@ package flashdc
 // cache itself.
 
 import (
+	"fmt"
 	"testing"
 
 	"flashdc/internal/experiments"
@@ -96,6 +97,40 @@ func BenchmarkHierarchyRequest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Handle(g.Next())
+	}
+}
+
+// BenchmarkEngineReplay times a 200k-request Zipf replay through the
+// sharded engine at 1/4/8 shards. Per-shard stream production and
+// simulation both parallelise, so on a multi-core host the sharded
+// runs show the engine's wall-clock scaling; the merged result is
+// identical across shard counts' worker schedules.
+func BenchmarkEngineReplay(b *testing.B) {
+	const requests = 200000
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := NewEngine(EngineConfig{
+					Shards: shards,
+					Hier:   SystemConfig{DRAMBytes: 8 << 20, FlashBytes: 64 << 20, Seed: 3},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sources := make([]EngineSource, shards)
+				for s := range sources {
+					g, err := NewWorkload("alpha2", 1.0/16, 3)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sources[s] = NewPartitionedWorkload(g, s, shards)
+				}
+				eng.RunSources(sources, requests)
+				if got := eng.Stats().Requests; got != requests {
+					b.Fatalf("replayed %d requests, want %d", got, requests)
+				}
+			}
+		})
 	}
 }
 

@@ -10,6 +10,13 @@
 //	fdcsim -trace trace.txt -dram 32M -flash 128M
 //	fdcsim -workload SPECWeb99 -unified -no-programmable
 //	fdcsim -faults "read=2e-3,program=1e-3,erase=1e-3,grown=0.2,seed=7" -scrub 512
+//	fdcsim -workload alpha2 -shards 8 -workers 8
+//
+// The -shards flag hash-partitions the LBA space across N independent
+// shards (each with 1/N of the DRAM and Flash capacity and its own
+// derived seed) replayed concurrently by -workers goroutines; the
+// report merges the shards. -shards 1 (the default) reproduces the
+// monolithic simulation exactly.
 //
 // The -faults flag attaches a deterministic fault-injection campaign
 // (comma-separated key=value list) to the Flash device; the report
@@ -28,6 +35,7 @@ import (
 	"strings"
 
 	"flashdc/internal/core"
+	"flashdc/internal/engine"
 	"flashdc/internal/fault"
 	"flashdc/internal/hier"
 	"flashdc/internal/server"
@@ -120,6 +128,8 @@ func main() {
 		wearAccel    = flag.Float64("wear-accel", 1, "wear acceleration factor")
 		faultSpec    = flag.String("faults", "", "fault-injection campaign, e.g. \"read=2e-3,program=1e-3,erase=1e-3,grown=0.2,seed=7\"")
 		scrubEvery   = flag.Int("scrub", 0, "background scrub scan interval in host operations (0 disables)")
+		shards       = flag.Int("shards", 1, "hash-partition the LBA space across N independent shards")
+		workers      = flag.Int("workers", 0, "concurrent shard replay goroutines (0 = one per shard)")
 	)
 	flag.Parse()
 
@@ -143,40 +153,46 @@ func main() {
 	if flash > 0 {
 		cfg.Flash = fc
 	}
-	sys := hier.New(cfg)
+	eng, err := engine.New(engine.Config{Shards: *shards, Workers: *workers, Hier: cfg})
+	die(err)
 
-	var next func() (trace.Request, bool)
+	stats := trace.NewStats()
 	if *traceFile != "" {
+		// One reader fans out to the shards through the stream router.
 		f, err := os.Open(*traceFile)
 		die(err)
 		defer f.Close()
 		r := trace.NewReader(f)
-		next = func() (trace.Request, bool) {
+		eng.RunStream(func() (trace.Request, bool) {
 			req, err := r.Read()
 			if err == io.EOF {
 				return trace.Request{}, false
 			}
 			die(err)
+			stats.Add(req)
 			return req, true
-		}
+		}, *requests)
 	} else {
-		g, err := workload.New(*workloadName, *scale, *seed)
-		die(err)
-		next = func() (trace.Request, bool) { return g.Next(), true }
-	}
-
-	stats := trace.NewStats()
-	for i := 0; i < *requests; i++ {
-		req, ok := next()
-		if !ok {
-			break
+		// Each shard filters its own copy of the generated stream, so
+		// production scales with the workers.
+		sources := make([]engine.Source, *shards)
+		for i := range sources {
+			g, err := workload.New(*workloadName, *scale, *seed)
+			die(err)
+			p := workload.NewPartitioned(g, i, *shards)
+			if i == 0 {
+				p.TrackStats(stats)
+			}
+			sources[i] = p
 		}
-		stats.Add(req)
-		sys.Handle(req)
+		eng.RunSources(sources, *requests)
 	}
-	sys.Drain()
+	eng.Drain()
 
-	st := sys.Stats()
+	if *shards > 1 {
+		fmt.Printf("shards:            %d (%d workers)\n", eng.Shards(), eng.Workers())
+	}
+	st := eng.Stats()
 	fmt.Printf("requests:          %d (%d read pages, %d write pages)\n",
 		st.Requests, st.ReadPages, st.WritePages)
 	fmt.Printf("trace footprint:   %d pages (%.1f MB), %.1f%% writes\n",
@@ -187,14 +203,14 @@ func main() {
 	fmt.Printf("flash hits:        %d\n", st.FlashHits)
 	fmt.Printf("disk reads:        %d\n", st.DiskReads)
 	fmt.Printf("avg latency:       %v\n", st.AvgLatency())
-	fmt.Printf("latency profile:   %v\n", sys.Latencies())
+	fmt.Printf("latency profile:   %v\n", eng.Latencies())
 	srv := server.Default()
 	fmt.Printf("est. bandwidth:    %.1f MB/s (%.0f req/s)\n",
 		srv.Bandwidth(st.AvgLatency())/(1<<20), srv.Throughput(st.AvgLatency()))
 
-	if fcache := sys.Flash(); fcache != nil {
-		cs := fcache.Stats()
-		gl := fcache.Global()
+	if eng.HasFlash() {
+		cs := eng.FlashStats()
+		gl := eng.Global()
 		fmt.Printf("flash miss rate:   %.4f\n", cs.MissRate())
 		fmt.Printf("flash GC:          %d runs, %d relocations, %v background time\n",
 			cs.GCRuns, cs.GCRelocations, cs.GCTime)
@@ -203,31 +219,35 @@ func main() {
 		fmt.Printf("wear swaps:        %d, promotions: %d\n", cs.WearSwaps, cs.Promotions)
 		fmt.Printf("reconfig events:   %d ECC, %d density\n",
 			gl.ECCReconfigs, gl.DensityReconfigs)
-		fmt.Printf("retired blocks:    %d (dead=%v)\n", cs.RetiredBlocks, fcache.Dead())
-		ds := fcache.DeviceStats()
+		fmt.Printf("retired blocks:    %d (dead=%v)\n", cs.RetiredBlocks, eng.Dead())
+		ds := eng.DeviceStats()
 		fmt.Printf("device ops:        %d reads, %d programs, %d erases\n",
 			ds.Reads, ds.Programs, ds.Erases)
 		if *faultSpec != "" || *scrubEvery > 0 {
-			fs := fcache.FaultStats()
+			fs := eng.FaultStats()
 			fmt.Printf("faults injected:   %d read flips over %d reads, %d program fails, %d erase fails, %d grown bad\n",
 				fs.ReadFlips, fs.ReadInjections, fs.ProgramFails, fs.EraseFails, fs.GrownBad)
 			fmt.Printf("fault recovery:    %d retries (%d recovered), %d remaps, %d program fails, %d erase fails\n",
 				cs.ReadRetries, cs.RetryRecoveries, cs.Remaps, cs.ProgramFailures, cs.EraseFailures)
 			fmt.Printf("scrubber:          %d pages scanned, %d migrated, %v background time\n",
 				cs.ScrubScans, cs.ScrubMigrations, cs.ScrubTime)
-			if err := fcache.CheckIntegrity(); err != nil {
+			if err := eng.CheckIntegrity(); err != nil {
 				fmt.Printf("integrity:         FAILED: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("integrity:         OK (%d cached pages verified)\n", fcache.ValidPages())
+			fmt.Printf("integrity:         OK (%d cached pages verified)\n", eng.ValidPages())
 		}
 	}
 	elapsed := srv.Elapsed(st.Requests, st.AvgLatency())
-	if db := sys.DiskBusy(); db > elapsed {
+	if db := eng.DiskBusy(); db > elapsed {
 		elapsed = db
 	}
 	if elapsed > 0 {
-		fmt.Printf("power:             %v\n", sys.Power(elapsed))
+		fmt.Printf("power:             %v\n", eng.Power(elapsed))
+	}
+	if err := eng.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "fdcsim: degraded service:", err)
+		os.Exit(1)
 	}
 }
 

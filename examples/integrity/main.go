@@ -87,7 +87,7 @@ func campaignDemo() {
 	fmt.Println("== Part 2: a fault-injection campaign against the cache ==")
 	cfg := core.DefaultConfig(8 << 20) // 8MB = 32 MLC blocks
 	cfg.Seed = 42
-	cfg.ScrubEvery = 256      // patrol the page population in the background
+	cfg.ScrubEvery = 256       // patrol the page population in the background
 	cfg.WearAcceleration = 500 // age the cells so the scrubber has work
 	cfg.Faults = &fault.Plan{
 		Seed:            1234,

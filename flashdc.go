@@ -41,6 +41,7 @@ import (
 
 	"flashdc/internal/array"
 	"flashdc/internal/core"
+	"flashdc/internal/engine"
 	"flashdc/internal/experiments"
 	"flashdc/internal/fault"
 	"flashdc/internal/ftl"
@@ -87,6 +88,53 @@ type (
 // NewSystem assembles a hierarchy; FlashBytes == 0 builds the
 // DRAM-only baseline.
 func NewSystem(cfg SystemConfig) *System { return hier.New(cfg) }
+
+// Tier composition: the hierarchy is a chain of Tier values (DRAM,
+// optionally Flash, disk) rather than hard-wired fields.
+type (
+	// Tier is one level of the storage hierarchy.
+	Tier = hier.Tier
+	// TierStats counts one tier's activity in tier-agnostic terms.
+	TierStats = hier.TierStats
+)
+
+// Degraded-service conditions System.Handle reports alongside the
+// simulated latency; test with errors.Is.
+var (
+	// ErrFlashBypassed marks a run whose Flash tier failed to restore
+	// from a metadata image and was left out of the hierarchy.
+	ErrFlashBypassed = hier.ErrFlashBypassed
+	// ErrFlashDead marks a run whose Flash cache wore out entirely.
+	ErrFlashDead = hier.ErrFlashDead
+)
+
+// Sharded simulation engine: hash-partitions the LBA space across
+// independent per-shard hierarchies replayed by a worker pool, with
+// bit-for-bit reproducible merged results.
+type (
+	// EngineConfig parameterises the sharded engine.
+	EngineConfig = engine.Config
+	// Engine replays request streams across shards and merges results.
+	Engine = engine.Engine
+	// EngineSource yields one shard's slice of a global stream.
+	EngineSource = engine.Source
+	// PartitionedWorkload filters a Workload down to one shard's pages.
+	PartitionedWorkload = workload.Partitioned
+)
+
+// NewEngine builds a sharded engine; Shards=1 reproduces the
+// monolithic simulation exactly.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// NewPartitionedWorkload wraps g as shard's deterministic slice of the
+// global request stream (see Engine.RunSources).
+func NewPartitionedWorkload(g Workload, shard, shards int) *PartitionedWorkload {
+	return workload.NewPartitioned(g, shard, shards)
+}
+
+// ShardOf maps a page to its owning shard under the canonical LBA
+// hash partition.
+func ShardOf(lba int64, shards int) int { return engine.ShardOf(lba, shards) }
 
 // Workload and trace API (Table 4).
 type (

@@ -209,6 +209,35 @@ type Stats struct {
 	ScrubTime                   sim.Duration
 }
 
+// Merge adds other's counters into s, combining the activity of
+// independent caches (one per shard) into one total.
+func (s *Stats) Merge(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Fills += other.Fills
+	s.GCRuns += other.GCRuns
+	s.GCRelocations += other.GCRelocations
+	s.GCTime += other.GCTime
+	s.Evictions += other.Evictions
+	s.FlushedPages += other.FlushedPages
+	s.WearSwaps += other.WearSwaps
+	s.Promotions += other.Promotions
+	s.Uncorrectable += other.Uncorrectable
+	s.UncorrectableInjected += other.UncorrectableInjected
+	s.RetiredBlocks += other.RetiredBlocks
+	s.ReadRetries += other.ReadRetries
+	s.RetryRecoveries += other.RetryRecoveries
+	s.TransientFlips += other.TransientFlips
+	s.ProgramFailures += other.ProgramFailures
+	s.EraseFailures += other.EraseFailures
+	s.Remaps += other.Remaps
+	s.ScrubScans += other.ScrubScans
+	s.ScrubMigrations += other.ScrubMigrations
+	s.ScrubTime += other.ScrubTime
+}
+
 // MissRate returns read misses over read lookups.
 func (s Stats) MissRate() float64 {
 	if s.Reads == 0 {
@@ -418,6 +447,16 @@ func (c *Cache) Global() tables.FGST { return c.fgst }
 func (c *Cache) Contains(lba int64) bool {
 	_, ok := c.fcht.Get(lba)
 	return ok
+}
+
+// Invalidate drops lba from the cache if present, discarding the
+// cached copy without a write-back; the slot becomes garbage for GC
+// to reclaim. Callers invalidating a dirty write-region page take
+// responsibility for the data living elsewhere.
+func (c *Cache) Invalidate(lba int64) {
+	if addr, ok := c.fcht.Get(lba); ok {
+		c.invalidate(addr)
+	}
 }
 
 // ValidPages returns the number of live cached pages.

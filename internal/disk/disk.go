@@ -35,6 +35,14 @@ type Stats struct {
 	BusyTime      sim.Duration
 }
 
+// Merge adds other's counters into s, combining the activity of
+// independent drives (one per shard) into a fleet total.
+func (s *Stats) Merge(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.BusyTime += other.BusyTime
+}
+
 // Disk is the drive model. Not safe for concurrent use.
 type Disk struct {
 	cfg   Config

@@ -36,6 +36,15 @@ type Stats struct {
 	Hits, Misses  int64
 }
 
+// Merge adds other's counters into s, combining per-shard DRAM cache
+// activity into one total.
+func (s *Stats) Merge(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+}
+
 // ReadBusyTime returns total DRAM busy time attributable to reads.
 func (s Stats) ReadBusyTime() sim.Duration {
 	return sim.Duration(s.Reads) * AccessLatency
@@ -172,6 +181,16 @@ func (c *Cache) Dirty(lba int64) bool {
 func (c *Cache) Clean(lba int64) {
 	if el, ok := c.index[lba]; ok {
 		el.Value.(*entry).dirty = false
+	}
+}
+
+// Remove drops lba from the cache if resident, discarding its dirty
+// state without a write-back. The caller takes responsibility for the
+// data living elsewhere (tier invalidation).
+func (c *Cache) Remove(lba int64) {
+	if el, ok := c.index[lba]; ok {
+		delete(c.index, lba)
+		c.lru.Remove(el)
 	}
 }
 

@@ -1,0 +1,283 @@
+// Package engine turns the single-threaded hierarchy simulator into a
+// throughput-oriented parallel engine: it hash-partitions the LBA
+// space across N shards (trace.ShardOf), gives every shard a fully
+// independent hier.System — its own clock, RNG streams, management
+// tables and NAND device, sized at 1/N of the configured capacity —
+// and replays the shards on a goroutine worker pool.
+//
+// The decomposition mirrors how real NAND subsystems scale: channel
+// and way parallelism over independent flash dies, each die with its
+// own FTL state. Because shards share no mutable state, the merged
+// result for a fixed (seed, shards) pair is bit-for-bit reproducible
+// regardless of GOMAXPROCS or the worker count: each shard's request
+// order is fixed by the partition (never by scheduling), each shard's
+// simulation is deterministic given its derived seed, and the merge
+// folds shards in index order.
+//
+// A single-shard engine is the monolithic simulator: shard 0 keeps
+// the base seed, the full capacities and the unsplit stream, so its
+// results are identical to driving hier.System directly.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"flashdc/internal/core"
+	"flashdc/internal/dram"
+	"flashdc/internal/hier"
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/trace"
+)
+
+// Config parameterises the engine.
+type Config struct {
+	// Shards is the number of LBA partitions, each an independent
+	// hier.System; at least 1.
+	Shards int
+	// Workers bounds how many shards simulate concurrently; 0 means
+	// one worker per shard.
+	Workers int
+	// Hier is the whole-system template: DRAM and Flash capacities
+	// are divided evenly across shards, and each shard's seed is
+	// derived from Hier.Seed and the shard index (ShardSeed).
+	Hier hier.Config
+	// BatchSize is how many requests a shard simulates per worker
+	// slot acquisition (and the router's enqueue granularity); 0
+	// means 64.
+	BatchSize int
+	// QueueDepth is the per-shard batch-queue capacity used by
+	// RunStream; 0 means 8.
+	QueueDepth int
+}
+
+// shard pairs one partition's hierarchy with its replay state.
+type shard struct {
+	sys *hier.System
+	// queue carries request batches from the RunStream router.
+	queue chan []trace.Request
+	// err is the first degraded-service error Handle reported.
+	err error
+}
+
+// Engine is a sharded simulation engine. Configure with New, drive
+// with RunStream or RunSources, then read the merged accessors. The
+// run methods block until the replay completes; the merged accessors
+// must not be called while a run is in flight.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+}
+
+// ShardSeed derives shard i's simulation seed from the base seed.
+// Shard 0 keeps the base seed, so a single-shard engine reproduces
+// the monolithic simulation bit-for-bit; later shards draw
+// independent streams through the splitmix64 avalanche.
+func ShardSeed(base uint64, shard int) uint64 {
+	if shard == 0 {
+		return base
+	}
+	return sim.SplitMix64(base + uint64(shard))
+}
+
+// ShardOf maps a page to its owning shard (the canonical partition,
+// re-exported for callers routing their own streams).
+func ShardOf(lba int64, shards int) int { return trace.ShardOf(lba, shards) }
+
+// New builds an engine of cfg.Shards independent hierarchies. It
+// returns an error — rather than panicking like the underlying
+// constructors — when the configuration cannot be divided: too many
+// shards for the configured DRAM or Flash capacity, or a metadata
+// warm-start combined with sharding (the image describes one
+// monolithic cache).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("engine: need at least 1 shard, have %d", cfg.Shards)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("engine: negative worker count %d", cfg.Workers)
+	}
+	if cfg.Shards > 1 && cfg.Hier.FlashMetadata != nil {
+		return nil, errors.New("engine: metadata warm-start is single-shard only")
+	}
+	n := int64(cfg.Shards)
+	perDRAM := cfg.Hier.DRAMBytes / n
+	if perDRAM < dram.PageSize {
+		return nil, fmt.Errorf("engine: %d shards leave %d bytes of DRAM each (need ≥ one %d-byte page)",
+			cfg.Shards, perDRAM, dram.PageSize)
+	}
+	perFlash := cfg.Hier.FlashBytes / n
+	if minFlash := 4 * int64(nand.SlotsPerBlock) * core.PageSize; cfg.Hier.FlashBytes > 0 && perFlash < minFlash {
+		return nil, fmt.Errorf("engine: %d shards leave %d bytes of Flash each (need ≥ %d)",
+			cfg.Shards, perFlash, minFlash)
+	}
+	e := &Engine{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		h := cfg.Hier
+		h.DRAMBytes = perDRAM
+		h.FlashBytes = perFlash
+		h.Seed = ShardSeed(cfg.Hier.Seed, i)
+		e.shards = append(e.shards, &shard{sys: hier.New(h)})
+	}
+	return e, nil
+}
+
+// Shards returns the number of partitions.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Shard exposes one partition's hierarchy for inspection.
+func (e *Engine) Shard(i int) *hier.System { return e.shards[i].sys }
+
+// Workers returns the effective worker-pool size.
+func (e *Engine) Workers() int {
+	if e.cfg.Workers <= 0 || e.cfg.Workers > len(e.shards) {
+		return len(e.shards)
+	}
+	return e.cfg.Workers
+}
+
+func (e *Engine) batchSize() int {
+	if e.cfg.BatchSize <= 0 {
+		return 64
+	}
+	return e.cfg.BatchSize
+}
+
+func (e *Engine) queueDepth() int {
+	if e.cfg.QueueDepth <= 0 {
+		return 8
+	}
+	return e.cfg.QueueDepth
+}
+
+// handleBatch replays one batch on a shard, recording the first
+// degraded-service error.
+func (sh *shard) handleBatch(batch []trace.Request) {
+	for _, req := range batch {
+		if _, err := sh.sys.Handle(req); err != nil && sh.err == nil {
+			sh.err = err
+		}
+	}
+}
+
+// RunStream replays up to n requests from next across the shards: the
+// calling goroutine routes the global stream — splitting each request
+// into per-shard runs of consecutive pages — onto per-shard queues,
+// while one goroutine per shard replays its queue in arrival order,
+// at most Workers of them simulating at any moment. It returns the
+// number of global requests consumed (short only when next reports
+// end of stream).
+//
+// Use this mode to fan a single source (a trace file) out to the
+// shards. For generated workloads prefer RunSources, which moves
+// stream production into the shards themselves.
+func (e *Engine) RunStream(next func() (trace.Request, bool), n int) int {
+	sem := make(chan struct{}, e.Workers())
+	var wg sync.WaitGroup
+	for _, sh := range e.shards {
+		sh.queue = make(chan []trace.Request, e.queueDepth())
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			for batch := range sh.queue {
+				sem <- struct{}{}
+				sh.handleBatch(batch)
+				<-sem
+			}
+		}(sh)
+	}
+
+	batch := e.batchSize()
+	pending := make([][]trace.Request, len(e.shards))
+	consumed := 0
+	for consumed < n {
+		req, ok := next()
+		if !ok {
+			break
+		}
+		consumed++
+		trace.SplitRuns(req, len(e.shards), func(s int, run trace.Request) {
+			pending[s] = append(pending[s], run)
+			if len(pending[s]) >= batch {
+				e.shards[s].queue <- pending[s]
+				pending[s] = nil
+			}
+		})
+	}
+	for s, p := range pending {
+		if len(p) > 0 {
+			e.shards[s].queue <- p
+		}
+		close(e.shards[s].queue)
+	}
+	wg.Wait()
+	return consumed
+}
+
+// Source yields one shard's slice of a global request stream; see
+// workload.Partitioned for the canonical implementation. NextUntil
+// returns the shard's next request among the first limit global
+// requests, reporting false once that budget is exhausted.
+type Source interface {
+	NextUntil(limit int) (trace.Request, bool)
+}
+
+// RunSources replays the first n global requests with one Source per
+// shard: shard i's goroutine draws from sources[i] and simulates in
+// batches, at most Workers shards simulating at any moment (stream
+// production overlaps with other shards' simulation). It panics
+// unless exactly one source per shard is supplied.
+func (e *Engine) RunSources(sources []Source, n int) {
+	if len(sources) != len(e.shards) {
+		panic(fmt.Sprintf("engine: %d sources for %d shards", len(sources), len(e.shards)))
+	}
+	sem := make(chan struct{}, e.Workers())
+	var wg sync.WaitGroup
+	for i, sh := range e.shards {
+		wg.Add(1)
+		go func(sh *shard, src Source) {
+			defer wg.Done()
+			batch := make([]trace.Request, 0, e.batchSize())
+			for {
+				batch = batch[:0]
+				for len(batch) < cap(batch) {
+					req, ok := src.NextUntil(n)
+					if !ok {
+						break
+					}
+					batch = append(batch, req)
+				}
+				if len(batch) == 0 {
+					return
+				}
+				sem <- struct{}{}
+				sh.handleBatch(batch)
+				<-sem
+			}
+		}(sh, sources[i])
+	}
+	wg.Wait()
+}
+
+// Drain flushes every shard's dirty state down to its disk.
+func (e *Engine) Drain() {
+	for _, sh := range e.shards {
+		sh.sys.Drain()
+	}
+}
+
+// Err returns the first degraded-service error any shard's Handle
+// reported (lowest shard index wins, deterministically), or nil.
+func (e *Engine) Err() error {
+	for i, sh := range e.shards {
+		if sh.err != nil {
+			if len(e.shards) == 1 {
+				return sh.err
+			}
+			return fmt.Errorf("shard %d: %w", i, sh.err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"flashdc/internal/core"
+	"flashdc/internal/fault"
+	"flashdc/internal/hier"
+	"flashdc/internal/nand"
+	"flashdc/internal/power"
+	"flashdc/internal/sim"
+	"flashdc/internal/tables"
+	"flashdc/internal/trace"
+	"flashdc/internal/workload"
+)
+
+const (
+	testRequests = 30000
+	testSeed     = 3
+)
+
+func testConfig() hier.Config {
+	return hier.Config{DRAMBytes: 4 << 20, FlashBytes: 32 << 20, Seed: testSeed}
+}
+
+// snapshot captures every merged result the engine reports, so tests
+// can compare whole runs with one DeepEqual.
+type snapshot struct {
+	Stats     hier.Stats
+	Latencies string
+	Tiers     []hier.TierStats
+	Flash     core.Stats
+	Global    tables.FGST
+	Device    nand.Stats
+	Faults    fault.Stats
+	Valid     int64
+	Busy      sim.Duration
+	Power     power.Breakdown
+}
+
+func snap(t *testing.T, e *Engine) snapshot {
+	t.Helper()
+	if err := e.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity: %v", err)
+	}
+	return snapshot{
+		Stats:     e.Stats(),
+		Latencies: e.Latencies().String(),
+		Tiers:     e.TierStats(),
+		Flash:     e.FlashStats(),
+		Global:    e.Global(),
+		Device:    e.DeviceStats(),
+		Faults:    e.FaultStats(),
+		Valid:     e.ValidPages(),
+		Busy:      e.DiskBusy(),
+		Power:     e.Power(sim.Second),
+	}
+}
+
+func newTestGen(t *testing.T) workload.Generator {
+	t.Helper()
+	g, err := workload.New("alpha2", 1.0/16, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runSources replays the standard test stream via per-shard sources.
+func runSources(t *testing.T, shards, workers int) *Engine {
+	t.Helper()
+	e, err := New(Config{Shards: shards, Workers: workers, Hier: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]Source, shards)
+	for i := range sources {
+		sources[i] = workload.NewPartitioned(newTestGen(t), i, shards)
+	}
+	e.RunSources(sources, testRequests)
+	e.Drain()
+	return e
+}
+
+// runStream replays the same stream through the single-router mode.
+func runStream(t *testing.T, shards, workers int) *Engine {
+	t.Helper()
+	e, err := New(Config{Shards: shards, Workers: workers, Hier: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newTestGen(t)
+	n := e.RunStream(func() (trace.Request, bool) { return g.Next(), true }, testRequests)
+	if n != testRequests {
+		t.Fatalf("RunStream consumed %d requests, want %d", n, testRequests)
+	}
+	e.Drain()
+	return e
+}
+
+// TestSingleShardMatchesMonolithic is the tentpole invariant: a
+// one-shard engine must reproduce a directly driven hier.System
+// bit-for-bit — same counters, same latency distribution, same Flash
+// device activity, same power.
+func TestSingleShardMatchesMonolithic(t *testing.T) {
+	sys := hier.New(testConfig())
+	g := newTestGen(t)
+	for i := 0; i < testRequests; i++ {
+		sys.Handle(g.Next())
+	}
+	sys.Drain()
+
+	e := runSources(t, 1, 1)
+
+	if got, want := e.Stats(), sys.Stats(); got != want {
+		t.Fatalf("stats:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := e.Latencies().String(), sys.Latencies().String(); got != want {
+		t.Fatalf("latencies: got %q want %q", got, want)
+	}
+	if got, want := e.FlashStats(), sys.Flash().Stats(); got != want {
+		t.Fatalf("flash stats:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := e.DeviceStats(), sys.Flash().DeviceStats(); got != want {
+		t.Fatalf("device stats: got %+v want %+v", got, want)
+	}
+	if got, want := e.Global(), sys.Flash().Global(); got != want {
+		t.Fatalf("global table: got %+v want %+v", got, want)
+	}
+	if got, want := e.DiskBusy(), sys.DiskBusy(); got != want {
+		t.Fatalf("disk busy: got %v want %v", got, want)
+	}
+	if got, want := e.Power(sim.Second), sys.Power(sim.Second); got != want {
+		t.Fatalf("power: got %+v want %+v", got, want)
+	}
+	if got, want := e.TierStats(), sys.TierStats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tier stats:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWorkerCountIndependence is the reproducibility guarantee: for a
+// fixed (seed, shards) pair the merged results must be identical no
+// matter how many workers replay the shards or how the scheduler
+// interleaves them. CI runs this under -race at -cpu 1,4,8.
+func TestWorkerCountIndependence(t *testing.T) {
+	const shards = 4
+	base := snap(t, runSources(t, shards, 1))
+	for _, workers := range []int{2, shards, 0} {
+		if got := snap(t, runSources(t, shards, workers)); !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d diverged from workers=1:\n got %+v\nwant %+v", workers, got, base)
+		}
+	}
+}
+
+// TestRunStreamMatchesRunSources: routing one global stream through
+// the router must land every shard the exact same request sequence as
+// per-shard filtered generators, so both replay modes merge to the
+// same result.
+func TestRunStreamMatchesRunSources(t *testing.T) {
+	const shards = 4
+	src := snap(t, runSources(t, shards, shards))
+	str := snap(t, runStream(t, shards, shards))
+	if !reflect.DeepEqual(src, str) {
+		t.Fatalf("modes diverged:\nsources %+v\nstream  %+v", src, str)
+	}
+}
+
+func TestShardSeed(t *testing.T) {
+	const base = 12345
+	if ShardSeed(base, 0) != base {
+		t.Fatal("shard 0 must keep the base seed (monolithic equivalence)")
+	}
+	seen := map[uint64]int{base: 0}
+	for i := 1; i < 64; i++ {
+		s := ShardSeed(base, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("shards %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+		if s != ShardSeed(base, i) {
+			t.Fatalf("shard %d seed not deterministic", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"zero shards", Config{Shards: 0, Hier: testConfig()}, "at least 1 shard"},
+		{"negative workers", Config{Shards: 1, Workers: -1, Hier: testConfig()}, "negative worker"},
+		{"dram too small", Config{Shards: 1 << 20, Hier: testConfig()}, "DRAM"},
+		{"flash too small", Config{Shards: 512, Hier: hier.Config{DRAMBytes: 1 << 30, FlashBytes: 32 << 20}}, "Flash"},
+		{"metadata with shards", Config{Shards: 2, Hier: func() hier.Config {
+			c := testConfig()
+			c.FlashMetadata = strings.NewReader("x")
+			return c
+		}()}, "single-shard"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New(%+v) err = %v, want containing %q", tc.cfg, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestErrPropagation: a shard whose Flash tier is bypassed (rejected
+// metadata image) must surface ErrFlashBypassed through Engine.Err
+// after the run, while still serving every request.
+func TestErrPropagation(t *testing.T) {
+	cfg := testConfig()
+	cfg.FlashMetadata = strings.NewReader("not a metadata image")
+	e, err := New(Config{Shards: 1, Hier: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newTestGen(t)
+	e.RunStream(func() (trace.Request, bool) { return g.Next(), true }, 100)
+	if err := e.Err(); !errors.Is(err, hier.ErrFlashBypassed) {
+		t.Fatalf("Err = %v, want ErrFlashBypassed", err)
+	}
+	if e.HasFlash() {
+		t.Fatal("bypassed shard should report no Flash tier")
+	}
+	if st := e.Stats(); st.Requests != 100 {
+		t.Fatalf("requests = %d, want 100 (degraded service must still serve)", st.Requests)
+	}
+}
+
+// TestRunSourcesPanicsOnMismatch: the source count is part of the
+// engine's contract.
+func TestRunSourcesPanicsOnMismatch(t *testing.T) {
+	e, err := New(Config{Shards: 2, Hier: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunSources with wrong source count did not panic")
+		}
+	}()
+	e.RunSources(make([]Source, 1), 10)
+}
+
+// TestShardIndependence: every shard must own a disjoint LBA slice, so
+// shard-level device activity sums to the global total without double
+// counting (each shard has its own NAND device and FBST).
+func TestShardIndependence(t *testing.T) {
+	const shards = 4
+	e := runSources(t, shards, shards)
+	var reads int64
+	for i := 0; i < e.Shards(); i++ {
+		reads += e.Shard(i).Stats().DiskReads
+	}
+	if got := e.Stats().DiskReads; got != reads {
+		t.Fatalf("merged DiskReads %d != per-shard sum %d", got, reads)
+	}
+	var valid int64
+	for i := 0; i < e.Shards(); i++ {
+		valid += e.Shard(i).Flash().ValidPages()
+	}
+	if got := e.ValidPages(); got != valid {
+		t.Fatalf("merged ValidPages %d != per-shard sum %d", got, valid)
+	}
+}

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"fmt"
+
+	"flashdc/internal/core"
+	"flashdc/internal/fault"
+	"flashdc/internal/hier"
+	"flashdc/internal/nand"
+	"flashdc/internal/power"
+	"flashdc/internal/sim"
+	"flashdc/internal/tables"
+)
+
+// The merged accessors fold per-shard results in shard-index order,
+// so a report for a fixed (seed, shards) pair is identical across
+// runs and worker counts; with one shard every accessor returns
+// exactly what the underlying hier.System reports.
+
+// Stats returns the merged hierarchy counters.
+func (e *Engine) Stats() hier.Stats {
+	var st hier.Stats
+	for _, sh := range e.shards {
+		st.Merge(sh.sys.Stats())
+	}
+	return st
+}
+
+// Latencies returns the merged per-page latency distribution.
+func (e *Engine) Latencies() *sim.Histogram {
+	var h sim.Histogram
+	for _, sh := range e.shards {
+		h.Merge(sh.sys.Latencies())
+	}
+	return &h
+}
+
+// TierStats returns the per-tier activity counters, fastest tier
+// first, merged level-by-level across shards.
+func (e *Engine) TierStats() []hier.TierStats {
+	var out []hier.TierStats
+	for _, sh := range e.shards {
+		for i, ts := range sh.sys.TierStats() {
+			if i == len(out) {
+				out = append(out, hier.TierStats{})
+			}
+			out[i].Merge(ts)
+		}
+	}
+	return out
+}
+
+// HasFlash reports whether any shard runs a live Flash tier.
+func (e *Engine) HasFlash() bool {
+	for _, sh := range e.shards {
+		if sh.sys.Flash() != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// FlashStats returns the merged Flash cache counters (zero when the
+// engine runs the DRAM-only baseline).
+func (e *Engine) FlashStats() core.Stats {
+	var st core.Stats
+	for _, sh := range e.shards {
+		if f := sh.sys.Flash(); f != nil {
+			st.Merge(f.Stats())
+		}
+	}
+	return st
+}
+
+// Global returns the merged Flash global status table.
+func (e *Engine) Global() tables.FGST {
+	var g tables.FGST
+	for _, sh := range e.shards {
+		if f := sh.sys.Flash(); f != nil {
+			g.Merge(f.Global())
+		}
+	}
+	return g
+}
+
+// DeviceStats returns the merged NAND device counters.
+func (e *Engine) DeviceStats() nand.Stats {
+	var st nand.Stats
+	for _, sh := range e.shards {
+		if f := sh.sys.Flash(); f != nil {
+			st.Merge(f.DeviceStats())
+		}
+	}
+	return st
+}
+
+// FaultStats returns the merged fault-injection counters.
+func (e *Engine) FaultStats() fault.Stats {
+	var st fault.Stats
+	for _, sh := range e.shards {
+		if f := sh.sys.Flash(); f != nil {
+			st.Merge(f.FaultStats())
+		}
+	}
+	return st
+}
+
+// ValidPages returns the live cached pages across all shards.
+func (e *Engine) ValidPages() int64 {
+	var n int64
+	for _, sh := range e.shards {
+		if f := sh.sys.Flash(); f != nil {
+			n += f.ValidPages()
+		}
+	}
+	return n
+}
+
+// Dead reports whether any shard's Flash cache has failed entirely.
+func (e *Engine) Dead() bool {
+	for _, sh := range e.shards {
+		if f := sh.sys.Flash(); f != nil && f.Dead() {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckIntegrity audits every shard's Flash mapping tables against
+// its device contents, reporting the first violation.
+func (e *Engine) CheckIntegrity() error {
+	for i, sh := range e.shards {
+		if err := sh.sys.CheckIntegrity(); err != nil {
+			if len(e.shards) == 1 {
+				return err
+			}
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DiskBusy returns the busiest shard's accumulated drive busy time:
+// the shards' drives run concurrently, so the fleet is occupied for
+// as long as its slowest member.
+func (e *Engine) DiskBusy() sim.Duration {
+	var busy sim.Duration
+	for _, sh := range e.shards {
+		if b := sh.sys.DiskBusy(); b > busy {
+			busy = b
+		}
+	}
+	return busy
+}
+
+// Power returns the average power breakdown over the interval: the
+// component-wise sum of the shards' breakdowns, since the shards'
+// DRAM, Flash and disk populations draw concurrently.
+func (e *Engine) Power(elapsed sim.Duration) power.Breakdown {
+	var b power.Breakdown
+	for _, sh := range e.shards {
+		b = b.Add(sh.sys.Power(elapsed))
+	}
+	return b
+}

@@ -81,6 +81,16 @@ type Stats struct {
 	GrownBad int64
 }
 
+// Merge adds other's counters into s, combining the injections of
+// independent campaigns (one per shard) into one total.
+func (s *Stats) Merge(other Stats) {
+	s.ReadInjections += other.ReadInjections
+	s.ReadFlips += other.ReadFlips
+	s.ProgramFails += other.ProgramFails
+	s.EraseFails += other.EraseFails
+	s.GrownBad += other.GrownBad
+}
+
 // Injector executes a Plan. It is not safe for concurrent use; the
 // device models are single-goroutine. A nil *Injector is valid and
 // injects nothing.

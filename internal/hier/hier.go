@@ -8,6 +8,7 @@
 package hier
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -18,6 +19,19 @@ import (
 	"flashdc/internal/power"
 	"flashdc/internal/sim"
 	"flashdc/internal/trace"
+)
+
+// Service-degradation conditions Handle reports alongside the latency.
+// Requests are still served correctly (the disk holds every page);
+// callers decide whether degraded service is acceptable.
+var (
+	// ErrFlashBypassed: the hierarchy was configured with a Flash tier
+	// but runs without it because the supplied metadata image was
+	// rejected. FlashLoadErr carries the cause.
+	ErrFlashBypassed = errors.New("hier: flash tier bypassed")
+	// ErrFlashDead: the Flash cache retired so many blocks it can no
+	// longer operate.
+	ErrFlashDead = errors.New("hier: flash tier dead")
 )
 
 // Config sizes the hierarchy.
@@ -76,17 +90,39 @@ func (s Stats) AvgLatency() sim.Duration {
 	return sim.Duration(int64(s.TotalLatency) / n)
 }
 
+// Merge adds other's counters into s, combining the activity of
+// independent shards into one hierarchy-level total.
+func (s *Stats) Merge(other Stats) {
+	s.Requests += other.Requests
+	s.ReadPages += other.ReadPages
+	s.WritePages += other.WritePages
+	s.PDCHits += other.PDCHits
+	s.FlashHits += other.FlashHits
+	s.DiskReads += other.DiskReads
+	s.Prefetched += other.Prefetched
+	s.TotalLatency += other.TotalLatency
+}
+
 // System is an assembled hierarchy. Not safe for concurrent use.
 type System struct {
 	cfg   Config
 	clock sim.Clock
-	pdc   *dram.Cache
-	flash *core.Cache // nil in the DRAM-only baseline
-	disk  *disk.Disk
-	stats Stats
+	// tiers is the composed chain, fastest-first; the typed fields
+	// below alias its members for model-specific reporting (power,
+	// wear, integrity) that the generic interface cannot expose.
+	tiers []Tier
+	// flashIdx and diskIdx locate the named tiers in the chain for
+	// the per-level hit counters (-1 when absent).
+	flashIdx, diskIdx int
+	pdc               *dram.Cache
+	flash             *core.Cache // nil in the DRAM-only baseline
+	disk              *disk.Disk
+	stats             Stats
 	// flashLoadErr records why a supplied metadata image was rejected
-	// and the Flash cache bypassed; nil otherwise.
+	// and the Flash cache bypassed; nil otherwise. bypassErr is the
+	// ErrFlashBypassed-wrapped form Handle reports.
 	flashLoadErr error
+	bypassErr    error
 	// latencies records per-page foreground latency for percentile
 	// reporting.
 	latencies sim.Histogram
@@ -126,6 +162,8 @@ func New(cfg Config) *System {
 				// Flash level entirely rather than trust it. The disk
 				// holds every page; only hit rate is lost.
 				s.flashLoadErr = err
+				s.bypassErr = fmt.Errorf("%w: %v", ErrFlashBypassed, err)
+				s.compose()
 				return s
 			}
 			s.flash = flash
@@ -136,7 +174,41 @@ func New(cfg Config) *System {
 			s.flash.AttachClock(&s.clock)
 		}
 	}
+	s.compose()
 	return s
+}
+
+// compose builds the tier chain from the assembled components and
+// links each cache tier to its write-back target below.
+func (s *System) compose() {
+	bottom := &diskTier{d: s.disk}
+	top := &dramTier{c: s.pdc}
+	if s.flash != nil {
+		s.tiers = []Tier{top, &flashTier{c: s.flash}, bottom}
+		s.flashIdx = 1
+	} else {
+		s.tiers = []Tier{top, bottom}
+		s.flashIdx = -1
+	}
+	s.diskIdx = len(s.tiers) - 1
+	top.lower = s.tiers[1]
+}
+
+// Tiers returns the composed chain, fastest tier first.
+func (s *System) Tiers() []Tier {
+	out := make([]Tier, len(s.tiers))
+	copy(out, s.tiers)
+	return out
+}
+
+// TierStats returns the per-tier activity counters, fastest tier
+// first.
+func (s *System) TierStats() []TierStats {
+	out := make([]TierStats, len(s.tiers))
+	for i, t := range s.tiers {
+		out[i] = t.Stats()
+	}
+	return out
 }
 
 // FlashLoadErr reports why the Flash cache was bypassed after a
@@ -164,8 +236,12 @@ func (s *System) Stats() Stats { return s.stats }
 func (s *System) Now() sim.Time { return s.clock.Now() }
 
 // Handle services one request, returning its foreground latency and
-// advancing the internal clock by it.
-func (s *System) Handle(req trace.Request) sim.Duration {
+// advancing the internal clock by it. The error reports degraded
+// service — a configured Flash tier that is bypassed
+// (ErrFlashBypassed) or dead (ErrFlashDead) — while the request is
+// still served correctly from the remaining tiers; callers that track
+// health should surface it, callers that only simulate may ignore it.
+func (s *System) Handle(req trace.Request) (sim.Duration, error) {
 	s.stats.Requests++
 	var total sim.Duration
 	req.Expand(func(lba int64) {
@@ -182,11 +258,23 @@ func (s *System) Handle(req trace.Request) sim.Duration {
 	})
 	s.clock.Advance(total)
 	s.stats.TotalLatency += total
-	return total
+	return total, s.serviceErr()
 }
 
-// readPage follows section 5.1: PDC, then FCHT/Flash, then disk (with
-// fills on the way back). Sequential streams trigger readahead.
+// serviceErr reports the sticky degraded-service condition, if any.
+func (s *System) serviceErr() error {
+	if s.bypassErr != nil {
+		return s.bypassErr
+	}
+	if s.flash != nil && s.flash.Dead() {
+		return ErrFlashDead
+	}
+	return nil
+}
+
+// readPage follows section 5.1 down the tier chain: PDC, then
+// FCHT/Flash, then disk, with fills on the way back up. Sequential
+// streams trigger readahead.
 func (s *System) readPage(lba int64) sim.Duration {
 	if lba == s.lastRead+1 {
 		s.streak++
@@ -197,83 +285,70 @@ func (s *System) readPage(lba int64) sim.Duration {
 	if s.cfg.ReadAhead > 0 && s.streak >= 2 {
 		s.prefetch(lba+1, s.cfg.ReadAhead)
 	}
-	if hit, lat := s.pdc.Read(lba); hit {
+	served, lat := s.lookup(lba)
+	switch {
+	case served == 0:
 		s.stats.PDCHits++
 		return lat
-	}
-	var lat sim.Duration
-	if s.flash != nil {
-		out := s.flash.Read(lba)
-		if out.Hit {
-			s.stats.FlashHits++
-			lat = out.Latency
-		} else {
-			s.stats.DiskReads++
-			lat = s.disk.Read()
-			s.flash.Insert(lba) // background fill
-		}
-	} else {
+	case served == s.flashIdx:
+		s.stats.FlashHits++
+	case served == s.diskIdx:
 		s.stats.DiskReads++
-		lat = s.disk.Read()
 	}
-	fillLat, ev := s.pdc.Fill(lba)
-	lat += fillLat
-	s.writeback(ev)
+	return lat + s.fillAbove(served, lba)
+}
+
+// lookup walks the chain until a tier serves lba. The bottom tier
+// always hits.
+func (s *System) lookup(lba int64) (served int, lat sim.Duration) {
+	for i, t := range s.tiers {
+		if hit, l := t.ReadPage(lba); hit {
+			return i, l
+		}
+	}
+	panic("hier: bottom tier missed")
+}
+
+// fillAbove pushes lba into every cache tier above the serving one,
+// bottom-up (the Flash fill precedes the PDC fill, as in section
+// 5.1), returning the foreground latency the fills add.
+func (s *System) fillAbove(served int, lba int64) sim.Duration {
+	var lat sim.Duration
+	for i := served - 1; i >= 0; i-- {
+		if f, ok := s.tiers[i].(filler); ok {
+			lat += f.Fill(lba)
+		}
+	}
 	return lat
 }
 
 // prefetch pulls up to n consecutive pages into the PDC from the
-// lower levels, off the critical path (background time only).
+// lower levels, off the critical path (background time only; lower-
+// tier hits are not counted as foreground hits).
 func (s *System) prefetch(start int64, n int) {
 	for lba := start; lba < start+int64(n); lba++ {
-		if hit, _ := s.pdc.Read(lba); hit {
+		served, _ := s.lookup(lba)
+		if served == 0 {
 			continue
 		}
-		if s.flash != nil {
-			if out := s.flash.Read(lba); !out.Hit {
-				s.stats.DiskReads++
-				s.disk.Read()
-				s.flash.Insert(lba)
-			}
-		} else {
+		if served == s.diskIdx {
 			s.stats.DiskReads++
-			s.disk.Read()
 		}
-		_, ev := s.pdc.Fill(lba)
-		s.writeback(ev)
+		s.fillAbove(served, lba)
 		s.stats.Prefetched++
 	}
 }
 
-// writePage dirties the page in the PDC; write-back to Flash/disk
-// happens on eviction (the paper's periodic flush behaviour).
+// writePage dirties the page in the top tier; write-back to the tiers
+// below happens on eviction (the paper's periodic flush behaviour).
 func (s *System) writePage(lba int64) sim.Duration {
-	lat, ev := s.pdc.Write(lba)
-	s.writeback(ev)
-	return lat
+	return s.tiers[0].WritePage(lba)
 }
 
-// writeback pushes an evicted dirty PDC page down a level
-// (background; not added to foreground latency).
-func (s *System) writeback(ev *dram.Evicted) {
-	if ev == nil || !ev.Dirty {
-		return
-	}
-	if s.flash != nil {
-		s.flash.Write(ev.LBA)
-		return
-	}
-	s.disk.Write()
-}
-
-// Drain flushes all dirty state to disk (end of run).
+// Drain flushes all dirty state down the chain (end of run).
 func (s *System) Drain() {
 	for _, lba := range s.pdc.DirtyPages() {
-		if s.flash != nil {
-			s.flash.Write(lba)
-		} else {
-			s.disk.Write()
-		}
+		s.tiers[1].WritePage(lba)
 		s.pdc.Clean(lba)
 	}
 	if s.flash != nil {
@@ -329,6 +404,11 @@ func (s *System) ResetStats() {
 	s.disk.ResetStats()
 	if s.flash != nil {
 		s.flash.ResetDeviceStats()
+	}
+	for _, t := range s.tiers {
+		if r, ok := t.(interface{ resetTierStats() }); ok {
+			r.resetTierStats()
+		}
 	}
 	s.clock = sim.Clock{}
 }

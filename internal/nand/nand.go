@@ -182,6 +182,17 @@ func (s Stats) BusyTime() sim.Duration {
 	return s.ReadTime + s.ProgramTime + s.EraseTime
 }
 
+// Merge adds other's counters into s, combining the activity of
+// independent devices (one per shard) into a fleet total.
+func (s *Stats) Merge(other Stats) {
+	s.Reads += other.Reads
+	s.Programs += other.Programs
+	s.Erases += other.Erases
+	s.ReadTime += other.ReadTime
+	s.ProgramTime += other.ProgramTime
+	s.EraseTime += other.EraseTime
+}
+
 // Device is a dual-mode NAND Flash chip. It is not safe for concurrent
 // use; the simulators drive it from a single goroutine.
 type Device struct {

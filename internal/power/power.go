@@ -48,6 +48,18 @@ func (b Breakdown) Memory() float64 {
 // Total returns memory plus disk power.
 func (b Breakdown) Total() float64 { return b.Memory() + b.Disk }
 
+// Add returns the component-wise sum of b and other: the average
+// power of independent subsystems (shards) drawing concurrently over
+// the same interval.
+func (b Breakdown) Add(other Breakdown) Breakdown {
+	b.MemRead += other.MemRead
+	b.MemWrite += other.MemWrite
+	b.MemIdle += other.MemIdle
+	b.Flash += other.Flash
+	b.Disk += other.Disk
+	return b
+}
+
 // String renders the breakdown compactly for reports.
 func (b Breakdown) String() string {
 	return fmt.Sprintf("memRD=%.3fW memWR=%.3fW memIDLE=%.3fW flash=%.3fW disk=%.3fW total=%.3fW",

@@ -56,6 +56,33 @@ func (h *Histogram) Observe(d Duration) {
 	}
 }
 
+// Merge folds other's samples into h: afterwards h reports exactly
+// what it would had it observed every sample of both histograms. Used
+// to combine per-shard latency profiles into one report; merging is
+// associative and commutative, so any fold order gives the same
+// result. A nil or empty other is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.total }
 

@@ -84,6 +84,64 @@ func TestHistogramQuantilePanics(t *testing.T) {
 	}
 }
 
+func TestHistogramMerge(t *testing.T) {
+	// Split one sample stream across three histograms; the merge must
+	// report exactly what a single histogram observing everything does.
+	var whole Histogram
+	parts := [3]Histogram{}
+	rng := NewRNG(7)
+	for i := 0; i < 30000; i++ {
+		var d Duration
+		if rng.Bool(0.7) {
+			d = Duration(200 + rng.Intn(2000))
+		} else {
+			d = Duration(50_000 + rng.Intn(100_000))
+		}
+		whole.Observe(d)
+		parts[i%3].Observe(d)
+	}
+	var merged Histogram
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.Count() != whole.Count() || merged.Mean() != whole.Mean() {
+		t.Fatalf("count/mean: merged %d/%v, whole %d/%v",
+			merged.Count(), merged.Mean(), whole.Count(), whole.Mean())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("extremes: merged [%v,%v], whole [%v,%v]",
+			merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%v: merged %v, whole %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if merged.String() != whole.String() {
+		t.Fatalf("String: merged %q, whole %q", merged.String(), whole.String())
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Merge(nil)
+	h.Merge(&Histogram{})
+	if h.Count() != 1 || h.Min() != 10 || h.Max() != 10 {
+		t.Fatal("nil/empty merge disturbed the receiver")
+	}
+	// Merging into an empty histogram adopts the other's extremes even
+	// when they include zero-duration samples.
+	var src Histogram
+	src.Observe(0)
+	src.Observe(5)
+	var dst Histogram
+	dst.Merge(&src)
+	if dst.Count() != 2 || dst.Min() != 0 || dst.Max() != 5 {
+		t.Fatalf("empty-receiver merge: n=%d min=%v max=%v", dst.Count(), dst.Min(), dst.Max())
+	}
+}
+
 func TestHistogramMonotoneQuantiles(t *testing.T) {
 	f := func(raw []uint32) bool {
 		if len(raw) == 0 {

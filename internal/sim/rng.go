@@ -20,19 +20,24 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// SplitMix64 is the splitmix64 step function: a bijective avalanche
+// mix whose outputs for consecutive inputs form the splitmix64 random
+// sequence. Besides seeding the RNG state it is the canonical way to
+// derive independent sub-seeds (per-shard simulation seeds) and
+// uniform hashes (LBA-space partitioning) from small or correlated
+// integers.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Seed re-initialises the generator state from seed using splitmix64,
 // which guarantees a non-zero state for any input.
 func (r *RNG) Seed(seed uint64) {
-	sm := seed
-	next := func() uint64 {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
 	for i := range r.s {
-		r.s[i] = next()
+		r.s[i] = SplitMix64(seed + uint64(i)*0x9e3779b97f4a7c15)
 	}
 	r.hasGauss = false
 }

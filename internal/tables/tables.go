@@ -225,6 +225,18 @@ type FGST struct {
 	ECCReconfigs, DensityReconfigs int64
 }
 
+// Merge adds other's counters into g, combining per-shard global
+// status tables into one report. The merged averages are the
+// sample-weighted means of the shards'.
+func (g *FGST) Merge(other FGST) {
+	g.Hits += other.Hits
+	g.Misses += other.Misses
+	g.HitLatencyTotal += other.HitLatencyTotal
+	g.MissPenaltyTotal += other.MissPenaltyTotal
+	g.ECCReconfigs += other.ECCReconfigs
+	g.DensityReconfigs += other.DensityReconfigs
+}
+
 // RecordHit accumulates one Flash hit.
 func (g *FGST) RecordHit(latency sim.Duration) {
 	g.Hits++

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+
+	"flashdc/internal/trace"
+)
+
+// Partitioned filters a generator's request stream down to the pages
+// one shard owns under the canonical LBA hash partition
+// (trace.ShardOf). Every shard builds its own Partitioned over an
+// identically configured generator (same workload, scale and seed):
+// each copy then walks the same global stream and keeps a disjoint,
+// deterministic slice of it. Because the filtering depends only on
+// the generator's own draw sequence, the per-shard streams are
+// identical no matter how many workers replay them or in what order
+// the shards are scheduled — the property the sharded engine's
+// reproducibility guarantee rests on.
+//
+// Requests spanning several pages are cut into maximal per-shard runs
+// of consecutive pages, so with one shard the stream passes through
+// untouched.
+type Partitioned struct {
+	g             Generator
+	shard, shards int
+	// consumed counts global requests drawn from g so far.
+	consumed int
+	// pending holds this shard's runs of the last global request.
+	pending []trace.Request
+	// stats optionally accumulates the full global stream.
+	stats *trace.Stats
+}
+
+// NewPartitioned wraps g as shard's slice of the global stream. It
+// panics on an invalid shard index; picking the partition layout is a
+// programming decision.
+func NewPartitioned(g Generator, shard, shards int) *Partitioned {
+	if shards < 1 || shard < 0 || shard >= shards {
+		panic(fmt.Sprintf("workload: shard %d outside [0,%d)", shard, shards))
+	}
+	return &Partitioned{g: g, shard: shard, shards: shards}
+}
+
+// Name identifies the underlying workload and the slice taken.
+func (p *Partitioned) Name() string {
+	if p.shards == 1 {
+		return p.g.Name()
+	}
+	return fmt.Sprintf("%s[%d/%d]", p.g.Name(), p.shard, p.shards)
+}
+
+// FootprintPages returns the underlying stream's working set; the
+// shard owns roughly a 1/shards fraction of it.
+func (p *Partitioned) FootprintPages() int64 { return p.g.FootprintPages() }
+
+// Consumed returns how many global requests have been drawn so far.
+func (p *Partitioned) Consumed() int { return p.consumed }
+
+// TrackStats attaches an accumulator fed with every global request
+// this shard's copy of the stream consumes. Since all shards consume
+// the same global stream, attaching it to a single shard (by
+// convention shard 0) accounts the whole run exactly once.
+func (p *Partitioned) TrackStats(st *trace.Stats) { p.stats = st }
+
+// NextUntil returns the next request owned by this shard among the
+// first limit global requests, reporting false once that budget is
+// exhausted. Calling it again with a larger limit resumes the stream.
+func (p *Partitioned) NextUntil(limit int) (trace.Request, bool) {
+	for {
+		if len(p.pending) > 0 {
+			r := p.pending[0]
+			p.pending = p.pending[1:]
+			return r, true
+		}
+		if p.consumed >= limit {
+			return trace.Request{}, false
+		}
+		req := p.g.Next()
+		p.consumed++
+		if p.stats != nil {
+			p.stats.Add(req)
+		}
+		p.pending = trace.SplitByShard(req, p.shard, p.shards)
+	}
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"flashdc/internal/trace"
+)
+
+func partitionGen(t *testing.T) Generator {
+	t.Helper()
+	g, err := New("alpha2", 0.01, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPartitionedSingleShardPassthrough: with one shard the filtered
+// stream is the generator's stream, request for request.
+func TestPartitionedSingleShardPassthrough(t *testing.T) {
+	const n = 2000
+	direct := partitionGen(t)
+	p := NewPartitioned(partitionGen(t), 0, 1)
+	for i := 0; i < n; i++ {
+		want := direct.Next()
+		got, ok := p.NextUntil(n)
+		if !ok || got != want {
+			t.Fatalf("request %d: got %+v ok=%v, want %+v", i, got, ok, want)
+		}
+	}
+	if _, ok := p.NextUntil(n); ok {
+		t.Fatal("stream did not end at the limit")
+	}
+	if p.Name() != direct.Name() {
+		t.Fatalf("Name = %q, want %q", p.Name(), direct.Name())
+	}
+}
+
+// TestPartitionedUnionReassemblesStream: the shards' filtered streams,
+// routed back by SplitRuns order, must together be exactly the global
+// stream — nothing lost, nothing duplicated, nothing out of order.
+func TestPartitionedUnionReassemblesStream(t *testing.T) {
+	const shards, n = 4, 3000
+	// Route the global stream with SplitRuns: the per-shard sequences
+	// are the ground truth the Partitioned copies must reproduce.
+	want := make([][]trace.Request, shards)
+	g := partitionGen(t)
+	for i := 0; i < n; i++ {
+		trace.SplitRuns(g.Next(), shards, func(s int, run trace.Request) {
+			want[s] = append(want[s], run)
+		})
+	}
+	for s := 0; s < shards; s++ {
+		p := NewPartitioned(partitionGen(t), s, shards)
+		var got []trace.Request
+		for {
+			r, ok := p.NextUntil(n)
+			if !ok {
+				break
+			}
+			got = append(got, r)
+		}
+		if !reflect.DeepEqual(got, want[s]) {
+			t.Fatalf("shard %d: %d runs, want %d (first divergence: %+v vs %+v)",
+				s, len(got), len(want[s]), first(got), first(want[s]))
+		}
+		if p.Consumed() != n {
+			t.Fatalf("shard %d consumed %d global requests, want %d", s, p.Consumed(), n)
+		}
+	}
+}
+
+func first(rs []trace.Request) trace.Request {
+	if len(rs) == 0 {
+		return trace.Request{}
+	}
+	return rs[0]
+}
+
+// TestPartitionedTrackStats: the accumulator attached to one shard
+// sees the whole global stream, identical to accounting it directly.
+func TestPartitionedTrackStats(t *testing.T) {
+	const n = 1500
+	want := trace.NewStats()
+	g := partitionGen(t)
+	for i := 0; i < n; i++ {
+		want.Add(g.Next())
+	}
+	got := trace.NewStats()
+	p := NewPartitioned(partitionGen(t), 0, 4)
+	p.TrackStats(got)
+	for {
+		if _, ok := p.NextUntil(n); !ok {
+			break
+		}
+	}
+	if got.Requests != want.Requests || got.ReadPages != want.ReadPages ||
+		got.WritePages != want.WritePages || got.UniquePages() != want.UniquePages() {
+		t.Fatalf("tracked stats diverged: got %+v (unique %d), want %+v (unique %d)",
+			got, got.UniquePages(), want, want.UniquePages())
+	}
+}
+
+// TestPartitionedResume: raising the limit resumes the stream where it
+// stopped instead of restarting it.
+func TestPartitionedResume(t *testing.T) {
+	whole := NewPartitioned(partitionGen(t), 1, 3)
+	var want []trace.Request
+	for {
+		r, ok := whole.NextUntil(1000)
+		if !ok {
+			break
+		}
+		want = append(want, r)
+	}
+	resumed := NewPartitioned(partitionGen(t), 1, 3)
+	var got []trace.Request
+	for _, limit := range []int{400, 1000} {
+		for {
+			r, ok := resumed.NextUntil(limit)
+			if !ok {
+				break
+			}
+			got = append(got, r)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed stream diverged: %d runs vs %d", len(got), len(want))
+	}
+}
+
+func TestPartitionedName(t *testing.T) {
+	p := NewPartitioned(partitionGen(t), 2, 4)
+	if got := p.Name(); got != "alpha2[2/4]" {
+		t.Fatalf("Name = %q", got)
+	}
+	if fp := p.FootprintPages(); fp <= 0 {
+		t.Fatalf("FootprintPages = %d", fp)
+	}
+}
+
+func TestPartitionedPanicsOnBadShard(t *testing.T) {
+	for _, tc := range []struct{ shard, shards int }{{-1, 4}, {4, 4}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewPartitioned(%d, %d) did not panic", tc.shard, tc.shards)
+				}
+			}()
+			NewPartitioned(partitionGen(t), tc.shard, tc.shards)
+		}()
+	}
+}

@@ -1,0 +1,147 @@
+package flashdc
+
+// Reflection-driven tests for the stats Merge methods the sharded
+// engine relies on: every exported numeric field of every mergeable
+// counter struct must come out as the sum of the inputs. Driving the
+// check by reflection means a field added to a struct but forgotten in
+// its Merge fails here instead of silently under-reporting in merged
+// shard reports.
+
+import (
+	"reflect"
+	"testing"
+
+	"flashdc/internal/core"
+	"flashdc/internal/disk"
+	"flashdc/internal/dram"
+	"flashdc/internal/fault"
+	"flashdc/internal/hier"
+	"flashdc/internal/nand"
+	"flashdc/internal/power"
+	"flashdc/internal/tables"
+	"flashdc/internal/trace"
+)
+
+// fillCounters assigns a distinct nonzero value to every settable
+// numeric field of the struct v points to, returning how many fields
+// it touched. Values are spaced so sums cannot collide by accident.
+func fillCounters(t *testing.T, v reflect.Value, base int64) int {
+	t.Helper()
+	n := 0
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if !f.CanSet() {
+			continue
+		}
+		n++
+		val := base + int64(i+1)*7
+		switch f.Kind() {
+		case reflect.Int64, reflect.Int:
+			f.SetInt(val)
+		case reflect.Float64:
+			f.SetFloat(float64(val))
+		case reflect.String:
+			n-- // identity fields (TierStats.Name) are not counters
+		default:
+			t.Fatalf("%s.%s: unhandled kind %v", v.Type(), v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	return n
+}
+
+// checkMergedSums verifies every settable numeric field of got equals
+// the sum of the corresponding fields of a and b.
+func checkMergedSums(t *testing.T, got, a, b reflect.Value) {
+	t.Helper()
+	for i := 0; i < got.NumField(); i++ {
+		f := got.Field(i)
+		if !f.CanSet() {
+			continue
+		}
+		name := got.Type().Field(i).Name
+		switch f.Kind() {
+		case reflect.Int64, reflect.Int:
+			if want := a.Field(i).Int() + b.Field(i).Int(); f.Int() != want {
+				t.Errorf("%s.%s = %d, want %d", got.Type(), name, f.Int(), want)
+			}
+		case reflect.Float64:
+			if want := a.Field(i).Float() + b.Field(i).Float(); f.Float() != want {
+				t.Errorf("%s.%s = %v, want %v", got.Type(), name, f.Float(), want)
+			}
+		}
+	}
+}
+
+// mergeByName invokes dst.Merge(src) whatever the method's receiver
+// and argument shapes (pointer or value) are.
+func mergeByName(t *testing.T, dst, src reflect.Value) {
+	t.Helper()
+	m := dst.Addr().MethodByName("Merge")
+	if !m.IsValid() {
+		t.Fatalf("%s has no Merge method", dst.Type())
+	}
+	arg := src
+	if m.Type().In(0).Kind() == reflect.Ptr {
+		arg = src.Addr()
+	}
+	m.Call([]reflect.Value{arg})
+}
+
+func TestStatsMergeSumsEveryField(t *testing.T) {
+	structs := []any{
+		hier.Stats{},
+		hier.TierStats{},
+		core.Stats{},
+		nand.Stats{},
+		disk.Stats{},
+		dram.Stats{},
+		fault.Stats{},
+		tables.FGST{},
+	}
+	for _, s := range structs {
+		typ := reflect.TypeOf(s)
+		t.Run(typ.String(), func(t *testing.T) {
+			a := reflect.New(typ).Elem()
+			b := reflect.New(typ).Elem()
+			if n := fillCounters(t, a, 1000); n == 0 {
+				t.Fatalf("%s has no settable counter fields", typ)
+			}
+			fillCounters(t, b, 500000)
+			merged := reflect.New(typ).Elem()
+			merged.Set(a)
+			mergeByName(t, merged, b)
+			checkMergedSums(t, merged, a, b)
+		})
+	}
+}
+
+func TestPowerBreakdownAdd(t *testing.T) {
+	a := power.Breakdown{MemRead: 1, MemWrite: 2, MemIdle: 3, Flash: 4, Disk: 5}
+	b := power.Breakdown{MemRead: 10, MemWrite: 20, MemIdle: 30, Flash: 40, Disk: 50}
+	got := reflect.ValueOf(a.Add(b))
+	checkMergedSums(t, got, reflect.ValueOf(a), reflect.ValueOf(b))
+	if sum := a.Add(b); sum.Total() != a.Total()+b.Total() {
+		t.Fatalf("Total = %v, want %v", sum.Total(), a.Total()+b.Total())
+	}
+}
+
+func TestTraceStatsMerge(t *testing.T) {
+	// Two accumulators over overlapping streams: counters add, the
+	// unique-page footprint unions.
+	a, b := trace.NewStats(), trace.NewStats()
+	a.Add(trace.Request{Op: trace.OpRead, LBA: 0, Pages: 4})
+	a.Add(trace.Request{Op: trace.OpWrite, LBA: 2, Pages: 2})
+	b.Add(trace.Request{Op: trace.OpRead, LBA: 2, Pages: 6})
+	a.Merge(b)
+	if a.Requests != 3 || a.ReadPages != 10 || a.WritePages != 2 {
+		t.Fatalf("counters: %+v", a)
+	}
+	// Pages 0..7 were touched across both streams.
+	if a.UniquePages() != 8 {
+		t.Fatalf("UniquePages = %d, want 8", a.UniquePages())
+	}
+	a.Merge(nil) // must be a no-op
+	if a.Requests != 3 {
+		t.Fatal("nil merge disturbed the receiver")
+	}
+}
