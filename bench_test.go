@@ -100,12 +100,8 @@ func BenchmarkHierarchyRequest(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineReplay times a 200k-request Zipf replay through the
-// sharded engine at 1/4/8 shards. Per-shard stream production and
-// simulation both parallelise, so on a multi-core host the sharded
-// runs show the engine's wall-clock scaling; the merged result is
-// identical across shard counts' worker schedules.
-func BenchmarkEngineReplay(b *testing.B) {
+func benchEngineReplay(b *testing.B, o ObsOptions) {
+	b.Helper()
 	const requests = 200000
 	for _, shards := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
@@ -113,6 +109,7 @@ func BenchmarkEngineReplay(b *testing.B) {
 				eng, err := NewEngine(EngineConfig{
 					Shards: shards,
 					Hier:   SystemConfig{DRAMBytes: 8 << 20, FlashBytes: 64 << 20, Seed: 3},
+					Obs:    o,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -129,9 +126,35 @@ func BenchmarkEngineReplay(b *testing.B) {
 				if got := eng.Stats().Requests; got != requests {
 					b.Fatalf("replayed %d requests, want %d", got, requests)
 				}
+				if o != (ObsOptions{}) {
+					if rep := eng.Observe(); len(rep.Snapshots) == 0 {
+						b.Fatal("observed run produced no snapshots")
+					}
+				}
 			}
 		})
 	}
+}
+
+// BenchmarkEngineReplay times a 200k-request Zipf replay through the
+// sharded engine at 1/4/8 shards. Per-shard stream production and
+// simulation both parallelise, so on a multi-core host the sharded
+// runs show the engine's wall-clock scaling; the merged result is
+// identical across shard counts' worker schedules. Observability is
+// disabled — the comparison against BenchmarkEngineReplayObserved
+// measures the nil-observer fast path's cost.
+func BenchmarkEngineReplay(b *testing.B) { benchEngineReplay(b, ObsOptions{}) }
+
+// BenchmarkEngineReplayObserved is BenchmarkEngineReplay with the full
+// observability stack on (metrics registry, 10ms snapshot cadence,
+// decision tracing) including the end-of-run merge; its delta over
+// BenchmarkEngineReplay is the cost of observing.
+func BenchmarkEngineReplayObserved(b *testing.B) {
+	benchEngineReplay(b, ObsOptions{
+		Metrics:         true,
+		MetricsInterval: 10 * Millisecond,
+		Trace:           true,
+	})
 }
 
 // BenchmarkWorkloadNext times trace generation alone.

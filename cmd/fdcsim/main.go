@@ -11,12 +11,23 @@
 //	fdcsim -workload SPECWeb99 -unified -no-programmable
 //	fdcsim -faults "read=2e-3,program=1e-3,erase=1e-3,grown=0.2,seed=7" -scrub 512
 //	fdcsim -workload alpha2 -shards 8 -workers 8
+//	fdcsim -metrics-out metrics.jsonl -metrics-interval 50ms -trace-events events.jsonl
+//	fdcsim -http :8080   (live Prometheus text at /metrics, pprof at /debug/pprof/)
 //
 // The -shards flag hash-partitions the LBA space across N independent
 // shards (each with 1/N of the DRAM and Flash capacity and its own
 // derived seed) replayed concurrently by -workers goroutines; the
-// report merges the shards. -shards 1 (the default) reproduces the
-// monolithic simulation exactly.
+// report merges the shards. Monolithic (-shards 1, the default) and
+// sharded runs are driven through the same Simulator code path and a
+// single-shard engine reproduces the monolithic simulation exactly.
+//
+// Observability (-metrics-out, -trace-events, -http) is timestamped in
+// simulated time, so for a fixed (seed, shards) pair the JSONL output
+// is byte-identical at any -workers count. -metrics-interval is a span
+// of *simulated* time between cumulative snapshots (0 = only the final
+// snapshot); -trace-events records management decisions (GC, wear
+// rotation, ECC/density reconfiguration, retirement, read retries,
+// scrubbing, shard merges) into a bounded ring of -trace-cap events.
 //
 // The -faults flag attaches a deterministic fault-injection campaign
 // (comma-separated key=value list) to the Flash device; the report
@@ -30,6 +41,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -38,9 +51,40 @@ import (
 	"flashdc/internal/engine"
 	"flashdc/internal/fault"
 	"flashdc/internal/hier"
+	"flashdc/internal/nand"
+	"flashdc/internal/obs"
+	"flashdc/internal/power"
 	"flashdc/internal/server"
+	"flashdc/internal/sim"
+	"flashdc/internal/tables"
 	"flashdc/internal/trace"
 	"flashdc/internal/workload"
+)
+
+// simulator is the full driving-and-reporting surface fdcsim needs,
+// satisfied by both the monolithic hier.System and the sharded
+// engine.Engine — the CLI below never branches on which it holds.
+type simulator interface {
+	hier.Simulator
+	Latencies() *sim.Histogram
+	HasFlash() bool
+	FlashStats() core.Stats
+	Global() tables.FGST
+	DeviceStats() nand.Stats
+	FaultStats() fault.Stats
+	ValidPages() int64
+	Dead() bool
+	CheckIntegrity() error
+	DiskBusy() sim.Duration
+	Power(sim.Duration) power.Breakdown
+	Drain()
+	Err() error
+	Observers() []*obs.Observer
+}
+
+var (
+	_ simulator = (*hier.System)(nil)
+	_ simulator = (*engine.Engine)(nil)
 )
 
 func parseSize(s string) (int64, error) {
@@ -130,6 +174,12 @@ func main() {
 		scrubEvery   = flag.Int("scrub", 0, "background scrub scan interval in host operations (0 disables)")
 		shards       = flag.Int("shards", 1, "hash-partition the LBA space across N independent shards")
 		workers      = flag.Int("workers", 0, "concurrent shard replay goroutines (0 = one per shard)")
+
+		metricsOut  = flag.String("metrics-out", "", "write cumulative metric snapshots as JSONL to this file")
+		metricsIvl  = flag.Duration("metrics-interval", 0, "simulated time between snapshots (0 = final snapshot only)")
+		traceEvents = flag.String("trace-events", "", "write decision events as JSONL to this file")
+		traceCap    = flag.Int("trace-cap", 0, fmt.Sprintf("per-shard event ring-buffer capacity (0 = %d)", obs.DefaultTraceCapacity))
+		httpAddr    = flag.String("http", "", "serve live Prometheus text at /metrics and pprof at /debug/pprof/ on this address")
 	)
 	flag.Parse()
 
@@ -149,21 +199,61 @@ func main() {
 		fc.Faults = plan
 	}
 
+	obsOpts := obs.Options{
+		Metrics:         *metricsOut != "" || *httpAddr != "",
+		MetricsInterval: sim.Duration(*metricsIvl),
+		Trace:           *traceEvents != "",
+		TraceCapacity:   *traceCap,
+	}
+	if *httpAddr != "" && obsOpts.MetricsInterval == 0 {
+		// The live endpoint reads atomically published snapshots, so it
+		// would serve nothing until the end of the run without a
+		// snapshot cadence.
+		obsOpts.MetricsInterval = 100 * sim.Millisecond
+	}
+
 	cfg := hier.Config{DRAMBytes: dram, FlashBytes: flash, Seed: *seed}
 	if flash > 0 {
 		cfg.Flash = fc
 	}
-	eng, err := engine.New(engine.Config{Shards: *shards, Workers: *workers, Hier: cfg})
-	die(err)
+
+	// Build the simulator. Both arms yield the same driving surface;
+	// everything below this block is shared.
+	var sys simulator
+	if *shards > 1 {
+		eng, err := engine.New(engine.Config{Shards: *shards, Workers: *workers, Hier: cfg, Obs: obsOpts})
+		die(err)
+		sys = eng
+	} else {
+		if obsOpts != (obs.Options{}) {
+			o := obs.New(obsOpts)
+			cfg.Observer = o
+		}
+		sys = hier.New(cfg)
+	}
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(sys.Observers))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "fdcsim: http:", err)
+			}
+		}()
+		fmt.Printf("serving metrics:   http://%s/metrics (pprof at /debug/pprof/)\n", *httpAddr)
+	}
 
 	stats := trace.NewStats()
 	if *traceFile != "" {
-		// One reader fans out to the shards through the stream router.
 		f, err := os.Open(*traceFile)
 		die(err)
 		defer f.Close()
 		r := trace.NewReader(f)
-		eng.RunStream(func() (trace.Request, bool) {
+		sys.Run(func() (trace.Request, bool) {
 			req, err := r.Read()
 			if err == io.EOF {
 				return trace.Request{}, false
@@ -173,26 +263,37 @@ func main() {
 			return req, true
 		}, *requests)
 	} else {
-		// Each shard filters its own copy of the generated stream, so
-		// production scales with the workers.
-		sources := make([]engine.Source, *shards)
-		for i := range sources {
-			g, err := workload.New(*workloadName, *scale, *seed)
-			die(err)
-			p := workload.NewPartitioned(g, i, *shards)
-			if i == 0 {
-				p.TrackStats(stats)
-			}
-			sources[i] = p
-		}
-		eng.RunSources(sources, *requests)
+		g, err := workload.New(*workloadName, *scale, *seed)
+		die(err)
+		sys.Run(func() (trace.Request, bool) {
+			req := g.Next()
+			stats.Add(req)
+			return req, true
+		}, *requests)
 	}
-	eng.Drain()
+	sys.Drain()
+	report := sys.Observe()
 
-	if *shards > 1 {
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		die(err)
+		die(obs.WriteSnapshotsJSONL(f, report.Snapshots))
+		die(f.Close())
+		fmt.Printf("metrics:           %d snapshots -> %s\n", len(report.Snapshots), *metricsOut)
+	}
+	if *traceEvents != "" {
+		f, err := os.Create(*traceEvents)
+		die(err)
+		die(obs.WriteEventsJSONL(f, report.Events))
+		die(f.Close())
+		fmt.Printf("trace events:      %d -> %s (%d dropped)\n",
+			len(report.Events), *traceEvents, report.DroppedEvents)
+	}
+
+	if eng, ok := sys.(*engine.Engine); ok {
 		fmt.Printf("shards:            %d (%d workers)\n", eng.Shards(), eng.Workers())
 	}
-	st := eng.Stats()
+	st := sys.Stats()
 	fmt.Printf("requests:          %d (%d read pages, %d write pages)\n",
 		st.Requests, st.ReadPages, st.WritePages)
 	fmt.Printf("trace footprint:   %d pages (%.1f MB), %.1f%% writes\n",
@@ -203,14 +304,14 @@ func main() {
 	fmt.Printf("flash hits:        %d\n", st.FlashHits)
 	fmt.Printf("disk reads:        %d\n", st.DiskReads)
 	fmt.Printf("avg latency:       %v\n", st.AvgLatency())
-	fmt.Printf("latency profile:   %v\n", eng.Latencies())
+	fmt.Printf("latency profile:   %v\n", sys.Latencies())
 	srv := server.Default()
 	fmt.Printf("est. bandwidth:    %.1f MB/s (%.0f req/s)\n",
 		srv.Bandwidth(st.AvgLatency())/(1<<20), srv.Throughput(st.AvgLatency()))
 
-	if eng.HasFlash() {
-		cs := eng.FlashStats()
-		gl := eng.Global()
+	if sys.HasFlash() {
+		cs := sys.FlashStats()
+		gl := sys.Global()
 		fmt.Printf("flash miss rate:   %.4f\n", cs.MissRate())
 		fmt.Printf("flash GC:          %d runs, %d relocations, %v background time\n",
 			cs.GCRuns, cs.GCRelocations, cs.GCTime)
@@ -219,33 +320,33 @@ func main() {
 		fmt.Printf("wear swaps:        %d, promotions: %d\n", cs.WearSwaps, cs.Promotions)
 		fmt.Printf("reconfig events:   %d ECC, %d density\n",
 			gl.ECCReconfigs, gl.DensityReconfigs)
-		fmt.Printf("retired blocks:    %d (dead=%v)\n", cs.RetiredBlocks, eng.Dead())
-		ds := eng.DeviceStats()
+		fmt.Printf("retired blocks:    %d (dead=%v)\n", cs.RetiredBlocks, sys.Dead())
+		ds := sys.DeviceStats()
 		fmt.Printf("device ops:        %d reads, %d programs, %d erases\n",
 			ds.Reads, ds.Programs, ds.Erases)
 		if *faultSpec != "" || *scrubEvery > 0 {
-			fs := eng.FaultStats()
+			fs := sys.FaultStats()
 			fmt.Printf("faults injected:   %d read flips over %d reads, %d program fails, %d erase fails, %d grown bad\n",
 				fs.ReadFlips, fs.ReadInjections, fs.ProgramFails, fs.EraseFails, fs.GrownBad)
 			fmt.Printf("fault recovery:    %d retries (%d recovered), %d remaps, %d program fails, %d erase fails\n",
 				cs.ReadRetries, cs.RetryRecoveries, cs.Remaps, cs.ProgramFailures, cs.EraseFailures)
 			fmt.Printf("scrubber:          %d pages scanned, %d migrated, %v background time\n",
 				cs.ScrubScans, cs.ScrubMigrations, cs.ScrubTime)
-			if err := eng.CheckIntegrity(); err != nil {
+			if err := sys.CheckIntegrity(); err != nil {
 				fmt.Printf("integrity:         FAILED: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("integrity:         OK (%d cached pages verified)\n", eng.ValidPages())
+			fmt.Printf("integrity:         OK (%d cached pages verified)\n", sys.ValidPages())
 		}
 	}
 	elapsed := srv.Elapsed(st.Requests, st.AvgLatency())
-	if db := eng.DiskBusy(); db > elapsed {
+	if db := sys.DiskBusy(); db > elapsed {
 		elapsed = db
 	}
 	if elapsed > 0 {
-		fmt.Printf("power:             %v\n", eng.Power(elapsed))
+		fmt.Printf("power:             %v\n", sys.Power(elapsed))
 	}
-	if err := eng.Err(); err != nil {
+	if err := sys.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "fdcsim: degraded service:", err)
 		os.Exit(1)
 	}

@@ -46,6 +46,7 @@ import (
 	"flashdc/internal/fault"
 	"flashdc/internal/ftl"
 	"flashdc/internal/hier"
+	"flashdc/internal/obs"
 	"flashdc/internal/server"
 	"flashdc/internal/sim"
 	"flashdc/internal/trace"
@@ -230,13 +231,39 @@ const (
 	ModeMLC = wear.MLC
 )
 
+// OpenCacheOption configures OpenCache (functional options).
+type OpenCacheOption = core.OpenOption
+
+// WithRecovery makes OpenCache crash-tolerant: a metadata image that
+// fails validation yields a cold (empty) cache and a RecoveryReport
+// instead of an error.
+func WithRecovery() OpenCacheOption { return core.WithRecovery() }
+
+// WithObserver attaches an observability sink to the opened cache. A
+// nil or disabled observer is a no-op.
+func WithObserver(o *Observer) OpenCacheOption { return core.WithObserver(o) }
+
+// OpenCache is the single entry point for building a Flash disk cache:
+// fresh when r is nil, warm from a Cache.SaveMetadata image otherwise
+// (the paper's tables are sourced from disk at run time, section 3).
+// Without WithRecovery a truncated or corrupted image is rejected with
+// an error wrapping ErrCorruptMetadata and the cache is nil; with it a
+// rejected image cold-starts and the report says why. It subsumes
+// NewCache, LoadCacheMetadata and RecoverCacheMetadata.
+func OpenCache(cfg CacheConfig, r io.Reader, opts ...OpenCacheOption) (*Cache, RecoveryReport, error) {
+	return core.Open(cfg, r, opts...)
+}
+
 // LoadCacheMetadata rebuilds a cache from a metadata image written by
 // Cache.SaveMetadata, restoring the Flash contents and wear state (the
 // paper's tables are sourced from disk at run time, section 3). A
 // truncated or corrupted image is rejected with an error wrapping
 // ErrCorruptMetadata.
+//
+// Deprecated: use OpenCache(cfg, r).
 func LoadCacheMetadata(cfg CacheConfig, r io.Reader) (*Cache, error) {
-	return core.LoadMetadata(cfg, r)
+	c, _, err := core.Open(cfg, r)
+	return c, err
 }
 
 // Fault injection and recovery API.
@@ -259,6 +286,35 @@ var ErrCorruptMetadata = core.ErrCorruptMetadata
 // RecoverCacheMetadata is the crash-tolerant LoadCacheMetadata: a
 // rejected image yields a usable cold-started cache plus a report
 // instead of an error.
+//
+// Deprecated: use OpenCache(cfg, r, WithRecovery()).
 func RecoverCacheMetadata(cfg CacheConfig, r io.Reader) (*Cache, RecoveryReport) {
-	return core.RecoverMetadata(cfg, r)
+	c, rep, _ := core.Open(cfg, r, core.WithRecovery())
+	return c, rep
 }
+
+// Observability API: a deterministic metrics registry plus decision-
+// event tracing, timestamped in simulated time (see internal/obs).
+type (
+	// ObsOptions configures an Observer (metrics, snapshot interval,
+	// tracing, ring-buffer capacity).
+	ObsOptions = obs.Options
+	// Observer is one simulation's observability sink; attach via
+	// SystemConfig.Observer, EngineConfig.Obs or OpenCache's
+	// WithObserver.
+	Observer = obs.Observer
+	// ObsReport is the merged observability output of a run.
+	ObsReport = obs.Report
+	// ObsSnapshot is one cumulative metrics capture.
+	ObsSnapshot = obs.Snapshot
+	// ObsEvent is one structured decision event.
+	ObsEvent = obs.Event
+)
+
+// NewObserver builds an observability sink from the options.
+func NewObserver(o ObsOptions) *Observer { return obs.New(o) }
+
+// Simulator is the driving surface shared by System (monolithic) and
+// Engine (sharded): one code path replays a stream and collects the
+// merged counters and observability report from either.
+type Simulator = hier.Simulator

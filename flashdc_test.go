@@ -159,11 +159,42 @@ func TestPublicAPIPersistence(t *testing.T) {
 	if err := c.SaveMetadata(&buf); err != nil {
 		t.Fatal(err)
 	}
-	restored, err := LoadCacheMetadata(cfg, &buf)
+	restored, rep, err := OpenCache(cfg, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if rep.ColdStart {
+		t.Fatal("clean image reported a cold start")
+	}
 	if !restored.Contains(7) {
 		t.Fatal("restored cache lost the page")
+	}
+}
+
+// TestPublicAPIOpenCacheRecovery exercises the crash-tolerant path and
+// the deprecated wrappers' delegation to OpenCache.
+func TestPublicAPIOpenCacheRecovery(t *testing.T) {
+	cfg := DefaultCacheConfig(8 << 20)
+	cfg.Seed = 5
+	garbage := bytes.NewBufferString("not a metadata image")
+	c, rep, err := OpenCache(cfg, garbage, WithRecovery())
+	if err != nil {
+		t.Fatalf("WithRecovery must not fail: %v", err)
+	}
+	if !rep.ColdStart || rep.Err == nil {
+		t.Fatalf("want cold-start report with cause, got %+v", rep)
+	}
+	if c == nil || c.Dead() {
+		t.Fatal("recovered cache unusable")
+	}
+
+	obs := NewObserver(ObsOptions{Metrics: true, Trace: true})
+	fresh, _, err := OpenCache(cfg, nil, WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Insert(7)
+	if evs := obs.Trace.Events(); len(evs) == 0 || evs[0].Kind != "open" {
+		t.Fatalf("want an open event first, got %v", evs)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"flashdc/internal/ecc"
 	"flashdc/internal/fault"
 	"flashdc/internal/nand"
+	"flashdc/internal/obs"
 	"flashdc/internal/sim"
 	"flashdc/internal/tables"
 	"flashdc/internal/wear"
@@ -270,6 +271,10 @@ type Cache struct {
 	// section 5.2.1 heuristics. Negative until the first eviction.
 	marginalFreq float64
 	dead         bool
+	// obs, when attached, receives decision events and samples the
+	// stats at snapshot time; nil means observability is off (the hot
+	// paths pay one untaken branch per decision site).
+	obs *obs.Observer
 	// clock and busyUntil model device contention when attached (see
 	// AttachClock).
 	clock     *sim.Clock
@@ -508,6 +513,9 @@ func (c *Cache) ResetDeviceStats() {
 // starts the event-queue-scheduled scrubber.
 func (c *Cache) AttachClock(clock *sim.Clock) {
 	c.clock = clock
+	if c.obs != nil {
+		c.obs.SetClock(clock)
+	}
 	c.scheduleScrub()
 }
 

@@ -118,11 +118,13 @@ func (c *Cache) retryRead(addr nand.Addr, st *tables.PageStatus, first nand.Read
 	}
 	var lat sim.Duration
 	res := first
+	attempts := 0
 	for attempt := 1; attempt <= c.cfg.MaxReadRetries; attempt++ {
 		r, err := c.dev.Read(addr)
 		if err != nil {
 			break
 		}
+		attempts = attempt
 		c.stats.ReadRetries++
 		c.stats.TransientFlips += int64(r.Injected)
 		eff := st.Strength + ecc.Strength(attempt)
@@ -132,6 +134,7 @@ func (c *Cache) retryRead(addr nand.Addr, st *tables.PageStatus, first nand.Read
 		lat += r.Latency + c.lat.DecodeLatency(eff)
 		if r.BitErrors <= int(eff) {
 			c.stats.RetryRecoveries++
+			c.eventReadRetry(addr.Block, st.LBA, attempt, int(st.Strength), true)
 			if r.BitErrors > int(st.Strength) && c.cfg.Programmable {
 				// The escalated decode was load-bearing: stage a
 				// stronger configuration before the page wears past
@@ -142,6 +145,7 @@ func (c *Cache) retryRead(addr nand.Addr, st *tables.PageStatus, first nand.Read
 		}
 		res = r
 	}
+	c.eventReadRetry(addr.Block, st.LBA, attempts, int(st.Strength), false)
 	return res, lat, false
 }
 
@@ -267,6 +271,7 @@ func (c *Cache) promote(addr nand.Addr) {
 	d.Access = c.fpst.Saturate()
 	c.fcht.Put(lba, dst)
 	c.stats.Promotions++
+	c.eventPromote(dst.Block, lba)
 	// A promotion is a density descriptor update (section 5.2.2), so
 	// it counts in the Figure 11 event breakdown.
 	c.fgst.DensityReconfigs++

@@ -125,6 +125,7 @@ func (c *Cache) retire(b int) {
 	if m.state == blockRetired {
 		return
 	}
+	c.eventRetire(b, m.valid)
 	for _, a := range c.validPagesOf(b) {
 		st := c.fpst.At(a)
 		if m.region == c.writeRegionIndex() && len(c.regions) == 2 {
@@ -379,6 +380,7 @@ func (c *Cache) maybeWearRotate(b int) bool {
 		homeRegion.free = append(homeRegion.free, newest)
 	}
 	c.stats.WearSwaps++
+	c.eventWearRotate(b, newest, len(content))
 	return true
 }
 
@@ -462,6 +464,8 @@ func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
 	if c.freePagesIn(r) < m.valid+4 {
 		return 0 // not enough headroom to relocate safely
 	}
+	c.eventGCStart(best, bestInvalid)
+	relocatedBefore := c.stats.GCRelocations
 	var t sim.Duration
 	dirty := r.id == c.writeRegionIndex() && len(c.regions) == 2
 	pages := c.validPagesOf(best)
@@ -516,6 +520,7 @@ func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
 	}
 	c.stats.GCTime += t
 	c.occupyDevice(t)
+	c.eventGCEnd(best, int(c.stats.GCRelocations-relocatedBefore), int64(t))
 	return t
 }
 

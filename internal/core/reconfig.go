@@ -59,11 +59,13 @@ func (c *Cache) reconfigure(block int, addr nand.Addr, observedErrors int, freq 
 	}
 
 	if choose == chooseECC {
+		c.eventECCBump(block, int(st.StagedStrength), int(target), observedErrors)
 		c.fbst.At(block).TotalECC += int(target - st.StagedStrength)
 		st.StagedStrength = target
 		c.fgst.ECCReconfigs++
 		return true
 	}
+	c.eventDensityDown(block, observedErrors)
 	// Density reduction applies to the whole physical slot: both
 	// sub-pages become one SLC page after the next erase.
 	for sub := 0; sub < 2; sub++ {

@@ -148,5 +148,6 @@ func (c *Cache) scrubMigrate(a nand.Addr) sim.Duration {
 	d.StagedStrength = maxStrength(d.StagedStrength, staged)
 	c.fcht.Put(lba, dst)
 	c.stats.ScrubMigrations++
+	c.eventScrubMigrate(a.Block, lba)
 	return t
 }

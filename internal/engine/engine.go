@@ -28,6 +28,7 @@ import (
 	"flashdc/internal/dram"
 	"flashdc/internal/hier"
 	"flashdc/internal/nand"
+	"flashdc/internal/obs"
 	"flashdc/internal/sim"
 	"flashdc/internal/trace"
 )
@@ -51,6 +52,11 @@ type Config struct {
 	// QueueDepth is the per-shard batch-queue capacity used by
 	// RunStream; 0 means 8.
 	QueueDepth int
+	// Obs enables observability: every shard gets its own Observer
+	// built from these options (clocked by that shard's simulated
+	// clock), and Observe merges their output deterministically. The
+	// zero value disables observability entirely.
+	Obs obs.Options
 }
 
 // shard pairs one partition's hierarchy with its replay state.
@@ -69,6 +75,11 @@ type shard struct {
 type Engine struct {
 	cfg    Config
 	shards []*shard
+	// observers holds the per-shard observability sinks (empty when
+	// Config.Obs is zero and no Hier.Observer was supplied); observed
+	// guards the one-time shard_merge trace events in Observe.
+	observers []*obs.Observer
+	observed  bool
 }
 
 // ShardSeed derives shard i's simulation seed from the base seed.
@@ -102,6 +113,15 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Shards > 1 && cfg.Hier.FlashMetadata != nil {
 		return nil, errors.New("engine: metadata warm-start is single-shard only")
 	}
+	if cfg.Shards > 1 && cfg.Hier.Observer != nil {
+		// One observer shared across shards would interleave their
+		// output nondeterministically; per-shard observers come from
+		// Config.Obs instead.
+		return nil, errors.New("engine: a shared hier.Config.Observer is single-shard only; set Config.Obs")
+	}
+	if cfg.Hier.Observer != nil && cfg.Obs != (obs.Options{}) {
+		return nil, errors.New("engine: Config.Obs and Hier.Observer are mutually exclusive")
+	}
 	n := int64(cfg.Shards)
 	perDRAM := cfg.Hier.DRAMBytes / n
 	if perDRAM < dram.PageSize {
@@ -119,6 +139,14 @@ func New(cfg Config) (*Engine, error) {
 		h.DRAMBytes = perDRAM
 		h.FlashBytes = perFlash
 		h.Seed = ShardSeed(cfg.Hier.Seed, i)
+		if cfg.Obs != (obs.Options{}) {
+			o := obs.New(cfg.Obs)
+			o.SetShard(i)
+			h.Observer = o
+		}
+		if h.Observer != nil {
+			e.observers = append(e.observers, h.Observer)
+		}
 		e.shards = append(e.shards, &shard{sys: hier.New(h)})
 	}
 	return e, nil

@@ -1,0 +1,17 @@
+package fault
+
+import "flashdc/internal/obs"
+
+// Collect folds the injection counters into an observability sample.
+// Nil-safe, like the rest of the injector's surface: a cache without a
+// fault campaign calls this on a nil receiver and contributes nothing.
+func (in *Injector) Collect(s *obs.Sample) {
+	if in == nil {
+		return
+	}
+	s.Counter("fault_read_injections_total", in.stats.ReadInjections)
+	s.Counter("fault_read_flips_total", in.stats.ReadFlips)
+	s.Counter("fault_program_fails_total", in.stats.ProgramFails)
+	s.Counter("fault_erase_fails_total", in.stats.EraseFails)
+	s.Counter("fault_grown_bad_total", in.stats.GrownBad)
+}

@@ -16,6 +16,7 @@ import (
 	"flashdc/internal/disk"
 	"flashdc/internal/dram"
 	"flashdc/internal/nand"
+	"flashdc/internal/obs"
 	"flashdc/internal/power"
 	"flashdc/internal/sim"
 	"flashdc/internal/trace"
@@ -66,6 +67,13 @@ type Config struct {
 	// and FlashLoadErr reports why, so a crashed node always comes
 	// back serving correct data.
 	FlashMetadata io.Reader
+	// Observer, when enabled, receives the hierarchy's metrics and
+	// decision events (see internal/obs). It must be exclusive to this
+	// system: the observer is clocked by this system's simulated clock,
+	// and the sharded engine relies on one observer per shard for
+	// deterministic merged output. Nil (or a disabled observer) keeps
+	// every hot path on the nil-check fast path.
+	Observer *obs.Observer
 }
 
 // Stats aggregates hierarchy-level behaviour.
@@ -126,6 +134,11 @@ type System struct {
 	// latencies records per-page foreground latency for percentile
 	// reporting.
 	latencies sim.Histogram
+	// obs is the attached observability sink (nil when disabled). All
+	// hierarchy metrics are sampled at snapshot time by collect, so
+	// the per-request cost of an enabled observer is one interval
+	// check in Handle.
+	obs *obs.Observer
 	// lastRead and streak detect sequential read runs for readahead.
 	lastRead int64
 	streak   int
@@ -146,6 +159,11 @@ func New(cfg Config) *System {
 		pdc:  dram.NewCacheWithPolicy(cfg.DRAMBytes, cfg.PDCPolicy),
 		disk: disk.New(cfg.Disk),
 	}
+	if cfg.Observer.Enabled() {
+		s.obs = cfg.Observer
+		s.obs.SetClock(&s.clock)
+		s.obs.RegisterCollector(s.collect)
+	}
 	if cfg.FlashBytes > 0 {
 		fc := cfg.Flash
 		if fc == (core.Config{}) {
@@ -155,27 +173,70 @@ func New(cfg Config) *System {
 		fc.Seed = cfg.Seed
 		fc.Backing = diskBacking{s.disk}
 		fc.MissPenalty = s.disk.Config().ReadLatency
-		if cfg.FlashMetadata != nil {
-			flash, err := core.LoadMetadata(fc, cfg.FlashMetadata)
-			if err != nil {
-				// Degraded path: the snapshot is suspect, so drop the
-				// Flash level entirely rather than trust it. The disk
-				// holds every page; only hit rate is lost.
-				s.flashLoadErr = err
-				s.bypassErr = fmt.Errorf("%w: %v", ErrFlashBypassed, err)
-				s.compose()
-				return s
-			}
-			s.flash = flash
-		} else {
-			s.flash = core.New(fc)
+		flash, _, err := core.Open(fc, cfg.FlashMetadata, core.WithObserver(s.obs))
+		if err != nil {
+			// Degraded path: the snapshot is suspect, so drop the
+			// Flash level entirely rather than trust it. The disk
+			// holds every page; only hit rate is lost.
+			s.flashLoadErr = err
+			s.bypassErr = fmt.Errorf("%w: %v", ErrFlashBypassed, err)
+			s.compose()
+			return s
 		}
+		s.flash = flash
 		if cfg.FlashContention {
 			s.flash.AttachClock(&s.clock)
 		}
 	}
 	s.compose()
 	return s
+}
+
+// collect folds the hierarchy- and tier-level counters into an
+// observability sample at snapshot time.
+func (s *System) collect(smp *obs.Sample) {
+	st := s.stats
+	smp.Counter("hier_requests_total", st.Requests)
+	smp.Counter("hier_read_pages_total", st.ReadPages)
+	smp.Counter("hier_write_pages_total", st.WritePages)
+	smp.Counter("hier_pdc_hits_total", st.PDCHits)
+	smp.Counter("hier_flash_hits_total", st.FlashHits)
+	smp.Counter("hier_disk_reads_total", st.DiskReads)
+	smp.Counter("hier_prefetched_total", st.Prefetched)
+	smp.Counter("hier_latency_ns_total", int64(st.TotalLatency))
+	smp.Counter("disk_busy_ns_total", int64(s.disk.Stats().BusyTime))
+	for _, t := range s.tiers {
+		ts := t.Stats()
+		smp.Counter("tier_"+ts.Name+"_reads_total", ts.Reads)
+		smp.Counter("tier_"+ts.Name+"_hits_total", ts.Hits)
+		smp.Counter("tier_"+ts.Name+"_misses_total", ts.Misses)
+		smp.Counter("tier_"+ts.Name+"_writes_total", ts.Writes)
+	}
+	smp.Histogram("hier_page_latency_ns", s.latencyProfile())
+}
+
+// latencyProfile re-buckets the per-page latency histogram the system
+// already maintains into the fixed observability bounds. Publishing at
+// snapshot time keeps the Handle hot path free of any per-page
+// recording cost; each log-scale source bucket lands in the
+// observability bucket its floor falls in (bound resolution is far
+// coarser than the ~9% source buckets, so the skew is negligible).
+func (s *System) latencyProfile() obs.HistogramSnapshot {
+	bounds := obs.LatencyBounds()
+	hs := obs.HistogramSnapshot{
+		Bounds:  bounds,
+		Buckets: make([]int64, len(bounds)+1),
+	}
+	s.latencies.Each(func(floor sim.Duration, count uint64) {
+		i := 0
+		for i < len(bounds) && int64(floor) > bounds[i] {
+			i++
+		}
+		hs.Buckets[i] += int64(count)
+		hs.Count += int64(count)
+	})
+	hs.Sum = int64(s.latencies.Sum())
+	return hs
 }
 
 // compose builds the tier chain from the assembled components and
@@ -258,6 +319,7 @@ func (s *System) Handle(req trace.Request) (sim.Duration, error) {
 	})
 	s.clock.Advance(total)
 	s.stats.TotalLatency += total
+	s.obs.MaybeSnapshot(s.clock.Now())
 	return total, s.serviceErr()
 }
 

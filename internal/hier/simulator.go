@@ -1,0 +1,112 @@
+package hier
+
+import (
+	"flashdc/internal/core"
+	"flashdc/internal/fault"
+	"flashdc/internal/nand"
+	"flashdc/internal/obs"
+	"flashdc/internal/tables"
+	"flashdc/internal/trace"
+)
+
+// Simulator is the driving surface shared by the monolithic System and
+// the sharded engine.Engine: replay a request stream, read the merged
+// hierarchy counters, collect the observability report. Callers that
+// need richer accessors (tier stats, Flash state, power) type-assert
+// or use the concrete types; this interface is the one code path a CLI
+// needs to drive either simulator.
+type Simulator interface {
+	// Run replays up to n requests from next, returning how many were
+	// consumed (short only when next reports end of stream).
+	Run(next func() (trace.Request, bool), n int) int
+	// Stats returns the (merged) hierarchy counters.
+	Stats() Stats
+	// Observe finalises and returns the observability report — empty
+	// but non-nil when no observer was configured. Call after Run.
+	Observe() *obs.Report
+}
+
+var _ Simulator = (*System)(nil)
+
+// Run replays up to n requests from next serially, returning the
+// number consumed. It is the monolithic counterpart of
+// engine.Engine.Run; degraded-service conditions surface through Err.
+func (s *System) Run(next func() (trace.Request, bool), n int) int {
+	consumed := 0
+	for consumed < n {
+		req, ok := next()
+		if !ok {
+			break
+		}
+		consumed++
+		s.Handle(req)
+	}
+	return consumed
+}
+
+// Observe finalises the attached observer and returns its report
+// (empty but non-nil without one).
+func (s *System) Observe() *obs.Report {
+	if s.obs == nil {
+		return &obs.Report{}
+	}
+	return obs.BuildReport(s.obs)
+}
+
+// Observers returns the attached observability sinks (at most one for
+// a monolithic system), for live exposition endpoints.
+func (s *System) Observers() []*obs.Observer {
+	if s.obs == nil {
+		return nil
+	}
+	return []*obs.Observer{s.obs}
+}
+
+// Err reports the sticky degraded-service condition, if any — the
+// System counterpart of engine.Engine.Err.
+func (s *System) Err() error { return s.serviceErr() }
+
+// HasFlash reports whether a live Flash tier is present.
+func (s *System) HasFlash() bool { return s.flash != nil }
+
+// FlashStats returns the Flash cache counters (zero without a Flash
+// tier).
+func (s *System) FlashStats() core.Stats {
+	if s.flash == nil {
+		return core.Stats{}
+	}
+	return s.flash.Stats()
+}
+
+// Global returns the Flash cache's FGST (zero without a Flash tier).
+func (s *System) Global() tables.FGST {
+	if s.flash == nil {
+		return tables.FGST{}
+	}
+	return s.flash.Global()
+}
+
+// DeviceStats returns the NAND device operation counters (zero without
+// a Flash tier).
+func (s *System) DeviceStats() nand.Stats { return s.flashStats() }
+
+// FaultStats returns the fault injector's counters (zero without a
+// Flash tier or campaign).
+func (s *System) FaultStats() fault.Stats {
+	if s.flash == nil {
+		return fault.Stats{}
+	}
+	return s.flash.FaultStats()
+}
+
+// ValidPages returns the number of live pages in the Flash cache (zero
+// without a Flash tier).
+func (s *System) ValidPages() int64 {
+	if s.flash == nil {
+		return 0
+	}
+	return s.flash.ValidPages()
+}
+
+// Dead reports whether the Flash tier has failed terminally.
+func (s *System) Dead() bool { return s.flash != nil && s.flash.Dead() }

@@ -1,0 +1,17 @@
+package nand
+
+import "flashdc/internal/obs"
+
+// Collect folds the device's operation counters into an observability
+// sample. Called at snapshot time by the owning cache's collector —
+// the device hot paths carry no instrumentation of their own.
+func (d *Device) Collect(s *obs.Sample) {
+	st := d.stats
+	s.Counter("nand_reads_total", st.Reads)
+	s.Counter("nand_programs_total", st.Programs)
+	s.Counter("nand_erases_total", st.Erases)
+	s.Counter("nand_read_time_ns_total", int64(st.ReadTime))
+	s.Counter("nand_program_time_ns_total", int64(st.ProgramTime))
+	s.Counter("nand_erase_time_ns_total", int64(st.EraseTime))
+	s.Gauge("nand_capacity_bytes", float64(d.CapacityBytes()))
+}

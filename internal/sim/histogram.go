@@ -86,6 +86,21 @@ func (h *Histogram) Merge(other *Histogram) {
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() Duration { return h.sum }
+
+// Each calls fn for every non-empty bucket, smallest first, with the
+// bucket's floor (the smallest duration mapping to it) and its count.
+// It lets observers re-bucket the profile without exposing the
+// internal layout.
+func (h *Histogram) Each(fn func(floor Duration, count uint64)) {
+	for i, c := range h.counts {
+		if c > 0 {
+			fn(bucketFloor(i), c)
+		}
+	}
+}
+
 // Mean returns the average sample, zero when empty.
 func (h *Histogram) Mean() Duration {
 	if h.total == 0 {

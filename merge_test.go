@@ -17,6 +17,7 @@ import (
 	"flashdc/internal/fault"
 	"flashdc/internal/hier"
 	"flashdc/internal/nand"
+	"flashdc/internal/obs"
 	"flashdc/internal/power"
 	"flashdc/internal/tables"
 	"flashdc/internal/trace"
@@ -113,6 +114,116 @@ func TestStatsMergeSumsEveryField(t *testing.T) {
 			checkMergedSums(t, merged, a, b)
 		})
 	}
+}
+
+// checkMergedByTags walks every field of an obs snapshot struct and
+// verifies the merged value obeys the field's `merge` tag: "keep"
+// retains the receiver's value, "max" takes the maximum, and untagged
+// fields accumulate (scalars and slice elements sum; map entries sum
+// key-wise, struct-valued maps recursively). A field added to the
+// struct in a shape this walk doesn't know fails loudly, the same
+// honesty property the flat counter structs get from
+// TestStatsMergeSumsEveryField.
+func checkMergedByTags(t *testing.T, prefix string, merged, a, b reflect.Value) {
+	t.Helper()
+	for i := 0; i < merged.NumField(); i++ {
+		sf := merged.Type().Field(i)
+		name := prefix + sf.Name
+		m, av, bv := merged.Field(i), a.Field(i), b.Field(i)
+		switch sf.Tag.Get("merge") {
+		case "keep":
+			if !reflect.DeepEqual(m.Interface(), av.Interface()) {
+				t.Errorf("%s = %v, want receiver's %v (merge:\"keep\")", name, m, av)
+			}
+		case "max":
+			want := av.Int()
+			if bv.Int() > want {
+				want = bv.Int()
+			}
+			if m.Int() != want {
+				t.Errorf("%s = %d, want max %d", name, m.Int(), want)
+			}
+		case "":
+			switch m.Kind() {
+			case reflect.Int64:
+				if m.Int() != av.Int()+bv.Int() {
+					t.Errorf("%s = %d, want sum %d", name, m.Int(), av.Int()+bv.Int())
+				}
+			case reflect.Slice:
+				if m.Len() != av.Len() || av.Len() != bv.Len() {
+					t.Fatalf("%s: unequal slice lengths", name)
+				}
+				for j := 0; j < m.Len(); j++ {
+					if m.Index(j).Int() != av.Index(j).Int()+bv.Index(j).Int() {
+						t.Errorf("%s[%d] = %d, want element-wise sum", name, j, m.Index(j).Int())
+					}
+				}
+			case reflect.Map:
+				iter := m.MapRange()
+				for iter.Next() {
+					k := iter.Key()
+					mv := iter.Value()
+					akv, bkv := av.MapIndex(k), bv.MapIndex(k)
+					switch mv.Kind() {
+					case reflect.Int64:
+						var want int64
+						if akv.IsValid() {
+							want += akv.Int()
+						}
+						if bkv.IsValid() {
+							want += bkv.Int()
+						}
+						if mv.Int() != want {
+							t.Errorf("%s[%v] = %d, want %d", name, k, mv.Int(), want)
+						}
+					case reflect.Float64:
+						var want float64
+						if akv.IsValid() {
+							want += akv.Float()
+						}
+						if bkv.IsValid() {
+							want += bkv.Float()
+						}
+						if mv.Float() != want {
+							t.Errorf("%s[%v] = %v, want %v", name, k, mv.Float(), want)
+						}
+					case reflect.Struct:
+						if !akv.IsValid() || !bkv.IsValid() {
+							continue // entry from one shard copies through
+						}
+						checkMergedByTags(t, name+"."+k.String()+".", mv, akv, bkv)
+					default:
+						t.Fatalf("%s: unhandled map value kind %v", name, mv.Kind())
+					}
+				}
+			default:
+				t.Fatalf("%s: kind %v needs a merge tag or map/slice merge support", name, m.Kind())
+			}
+		default:
+			t.Fatalf("%s: unknown merge tag %q", name, sf.Tag.Get("merge"))
+		}
+	}
+}
+
+func TestObsSnapshotMergeHonoursTags(t *testing.T) {
+	hA := obs.HistogramSnapshot{Bounds: []int64{10, 20}, Buckets: []int64{1, 2, 3}, Count: 6, Sum: 30}
+	hB := obs.HistogramSnapshot{Bounds: []int64{10, 20}, Buckets: []int64{4, 5, 6}, Count: 15, Sum: 100}
+	a := obs.Snapshot{Seq: 3, T: 10, Final: true,
+		Counters:   map[string]int64{"c": 1, "onlyA": 2},
+		Gauges:     map[string]float64{"g": 1.5},
+		Histograms: map[string]obs.HistogramSnapshot{"h": hA}}
+	b := obs.Snapshot{Seq: 3, T: 25,
+		Counters:   map[string]int64{"c": 10, "onlyB": 20},
+		Gauges:     map[string]float64{"g": 2.5},
+		Histograms: map[string]obs.HistogramSnapshot{"h": hB}}
+	merged := a.Clone()
+	merged.Merge(b)
+	checkMergedByTags(t, "Snapshot.", reflect.ValueOf(merged), reflect.ValueOf(a), reflect.ValueOf(b))
+
+	mh := hA.Clone()
+	mh.Merge(hB)
+	checkMergedByTags(t, "HistogramSnapshot.",
+		reflect.ValueOf(mh), reflect.ValueOf(hA), reflect.ValueOf(hB))
 }
 
 func TestPowerBreakdownAdd(t *testing.T) {
