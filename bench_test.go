@@ -122,7 +122,9 @@ func benchEngineReplay(b *testing.B, o ObsOptions) {
 					}
 					sources[s] = NewPartitionedWorkload(g, s, shards)
 				}
-				eng.RunSources(sources, requests)
+				if err := eng.RunSources(sources, requests); err != nil {
+					b.Fatal(err)
+				}
 				if got := eng.Stats().Requests; got != requests {
 					b.Fatalf("replayed %d requests, want %d", got, requests)
 				}

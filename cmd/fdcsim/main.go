@@ -262,6 +262,26 @@ func main() {
 			stats.Add(req)
 			return req, true
 		}, *requests)
+	} else if eng, ok := sys.(*engine.Engine); ok {
+		// Sharded generated workloads use the per-shard source mode:
+		// each shard draws its slice of the global stream directly,
+		// overlapping stream production with other shards' simulation.
+		// A source/shard mismatch is reported like any other fatal
+		// configuration error.
+		sources := make([]engine.Source, eng.Shards())
+		for i := range sources {
+			g, err := workload.New(*workloadName, *scale, *seed)
+			die(err)
+			sources[i] = workload.NewPartitioned(g, i, eng.Shards())
+		}
+		die(eng.RunSources(sources, *requests))
+		// The sources consumed the stream shard-locally; replay a
+		// fresh generator to report the global trace footprint.
+		g, err := workload.New(*workloadName, *scale, *seed)
+		die(err)
+		for i := 0; i < *requests; i++ {
+			stats.Add(g.Next())
+		}
 	} else {
 		g, err := workload.New(*workloadName, *scale, *seed)
 		die(err)

@@ -220,8 +220,9 @@ type (
 	FlashArray = array.Array
 )
 
-// NewFlashArray builds a page-striped multi-chip array.
-func NewFlashArray(cfg ArrayConfig) *FlashArray { return array.New(cfg) }
+// NewFlashArray builds a page-striped multi-chip array. Degenerate
+// configurations are reported as errors.
+func NewFlashArray(cfg ArrayConfig) (*FlashArray, error) { return array.New(cfg) }
 
 // Cell density modes, re-exported for configuration.
 const (

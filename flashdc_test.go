@@ -136,7 +136,10 @@ func TestPublicAPIFTL(t *testing.T) {
 
 // TestPublicAPIArray exercises the multi-chip array re-exports.
 func TestPublicAPIArray(t *testing.T) {
-	a := NewFlashArray(ArrayConfig{Chips: 2, BlocksPerChip: 2, Mode: ModeMLC, Seed: 1})
+	a, err := NewFlashArray(ArrayConfig{Chips: 2, BlocksPerChip: 2, Mode: ModeMLC, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Chips() != 2 {
 		t.Fatal("chips wrong")
 	}

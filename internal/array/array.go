@@ -39,13 +39,14 @@ type Array struct {
 	ppb   int // pages per block per chip
 }
 
-// New builds the array. It panics on degenerate configurations.
-func New(cfg Config) *Array {
+// New builds the array. Degenerate configurations (no chips, no
+// blocks) are reported as errors.
+func New(cfg Config) (*Array, error) {
 	if cfg.Chips < 1 {
-		panic("array: need at least one chip")
+		return nil, fmt.Errorf("array: need at least one chip, have %d", cfg.Chips)
 	}
 	if cfg.BlocksPerChip < 1 {
-		panic("array: need at least one block per chip")
+		return nil, fmt.Errorf("array: need at least one block per chip, have %d", cfg.BlocksPerChip)
 	}
 	a := &Array{
 		cfg:   cfg,
@@ -63,7 +64,7 @@ func New(cfg Config) *Array {
 			Seed:        cfg.Seed + uint64(i)*1000003,
 		})
 	}
-	return a
+	return a, nil
 }
 
 // Chips returns the channel count.

@@ -8,25 +8,25 @@ import (
 	"flashdc/internal/wear"
 )
 
-func testArray(chips int) *Array {
-	return New(Config{Chips: chips, BlocksPerChip: 4, Mode: wear.SLC, Seed: 1})
+func testArray(t *testing.T, chips int) *Array {
+	t.Helper()
+	a, err := New(Config{Chips: chips, BlocksPerChip: 4, Mode: wear.SLC, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
 }
 
 func TestNewValidation(t *testing.T) {
 	for _, cfg := range []Config{{Chips: 0, BlocksPerChip: 1}, {Chips: 1, BlocksPerChip: 0}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("bad config did not panic")
-				}
-			}()
-			New(cfg)
-		}()
+		if a, err := New(cfg); err == nil || a != nil {
+			t.Fatalf("config %+v: want error, got (%v, %v)", cfg, a, err)
+		}
 	}
 }
 
 func TestStripingSpreadsConsecutivePages(t *testing.T) {
-	a := testArray(4)
+	a := testArray(t, 4)
 	seen := map[int]bool{}
 	for p := int64(0); p < 4; p++ {
 		chip, _, err := a.locate(p)
@@ -47,11 +47,14 @@ func TestStripingSpreadsConsecutivePages(t *testing.T) {
 }
 
 func TestPagesAccounting(t *testing.T) {
-	a := testArray(2)
+	a := testArray(t, 2)
 	if a.Pages() != 2*4*nand.SlotsPerBlock {
 		t.Fatalf("Pages = %d", a.Pages())
 	}
-	m := New(Config{Chips: 2, BlocksPerChip: 4, Mode: wear.MLC, Seed: 1})
+	m, err := New(Config{Chips: 2, BlocksPerChip: 4, Mode: wear.MLC, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Pages() != 2*a.Pages() {
 		t.Fatal("MLC array should address twice the pages")
 	}
@@ -61,7 +64,7 @@ func TestPagesAccounting(t *testing.T) {
 }
 
 func TestParallelReadsOverlap(t *testing.T) {
-	a := testArray(4)
+	a := testArray(t, 4)
 	// Program one page per chip, then read all four at t=0: with four
 	// channels they all finish after one read latency, not four.
 	for p := int64(0); p < 4; p++ {
@@ -86,7 +89,7 @@ func TestParallelReadsOverlap(t *testing.T) {
 }
 
 func TestSameChipSerializes(t *testing.T) {
-	a := testArray(4)
+	a := testArray(t, 4)
 	// Pages 0 and 4 share chip 0.
 	a.ProgramAt(0, 1, 0)
 	a.ProgramAt(4, 2, 0)
@@ -100,7 +103,10 @@ func TestSameChipSerializes(t *testing.T) {
 
 func TestMakespanScalesWithChannels(t *testing.T) {
 	makespan := func(chips int) sim.Time {
-		a := New(Config{Chips: chips, BlocksPerChip: 8, Mode: wear.SLC, Seed: 2})
+		a, err := New(Config{Chips: chips, BlocksPerChip: 8, Mode: wear.SLC, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
 		n := int64(256)
 		for p := int64(0); p < n; p++ {
 			if _, err := a.ProgramAt(p, uint64(p), 0); err != nil {
@@ -124,7 +130,7 @@ func TestMakespanScalesWithChannels(t *testing.T) {
 }
 
 func TestEraseAtAffectsWholeBlock(t *testing.T) {
-	a := testArray(1)
+	a := testArray(t, 1)
 	a.ProgramAt(0, 7, 0)
 	if _, err := a.EraseAt(0, 0); err != nil {
 		t.Fatal(err)
@@ -139,7 +145,7 @@ func TestEraseAtAffectsWholeBlock(t *testing.T) {
 }
 
 func TestSubmitLaterThanAvailability(t *testing.T) {
-	a := testArray(1)
+	a := testArray(t, 1)
 	a.ProgramAt(0, 1, 0)
 	a.Reset()
 	// Submit at t=1ms, long after the chip is free: completion is

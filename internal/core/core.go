@@ -283,10 +283,24 @@ type Cache struct {
 	// pumped at the start of every host operation.
 	events sim.EventQueue
 	// scrubTick amortises the operation-count scrub trigger;
-	// scrubBlock/scrubSlot/scrubSub is the scan cursor.
+	// scrubBlock/scrubSlot/scrubSub is the scan cursor. scrubEvent is
+	// the pending clock-driven scrub event (nil when unarmed): it
+	// keeps re-arming idempotent, so attaching a clock twice or
+	// resetting stats mid-run never doubles the cadence.
 	scrubTick             uint64
 	scrubBlock, scrubSlot int
 	scrubSub              int
+	scrubEvent            *sim.Event
+}
+
+// mustTable unwraps a tables constructor result: New validates every
+// parameter it forwards (positive block count, saturation, 0 < K1 <
+// K2), so an error here is an internal invariant violation.
+func mustTable[T any](t T, err error) T {
+	if err != nil {
+		panic("core: internal: " + err.Error())
+	}
+	return t
 }
 
 // New builds a cache. It panics on degenerate configurations: sizing
@@ -322,6 +336,9 @@ func New(cfg Config) *Cache {
 	}
 	if cfg.K2 == 0 {
 		cfg.K2 = 20
+	}
+	if cfg.K1 <= 0 || cfg.K2 <= cfg.K1 {
+		panic(fmt.Sprintf("core: wear weights want 0 < K1 < K2, got K1=%v K2=%v", cfg.K1, cfg.K2))
 	}
 	if cfg.WearThreshold == 0 {
 		cfg.WearThreshold = 256
@@ -368,8 +385,8 @@ func New(cfg Config) *Cache {
 			FactoryBadBlocks: factoryBad,
 		}),
 		fcht:         tables.NewFCHT(),
-		fpst:         tables.NewFPST(blocks, cfg.BaseStrength, cfg.InitialMode, cfg.HotSaturation),
-		fbst:         tables.NewFBST(blocks, cfg.K1, cfg.K2),
+		fpst:         mustTable(tables.NewFPST(blocks, cfg.BaseStrength, cfg.InitialMode, cfg.HotSaturation)),
+		fbst:         mustTable(tables.NewFBST(blocks, cfg.K1, cfg.K2)),
 		lat:          ecc.DefaultLatencyModel(),
 		meta:         make([]blockMeta, blocks),
 		marginalFreq: -1,
@@ -498,10 +515,20 @@ func (c *Cache) writeRegionIndex() int {
 // ResetDeviceStats zeroes the Flash device operation counters (e.g.
 // after warmup); wear state and cache contents are untouched. The
 // contention timeline is re-anchored to the epoch, matching callers
-// that reset their clock alongside.
+// that reset their clock alongside — which is also why any pending
+// clock-driven scrub event is re-armed from the current clock reading:
+// an event left scheduled at a pre-reset timestamp would sit in the
+// queue unreachable until the rewound clock caught up, silently
+// disabling scrubbing for the measurement phase. Callers must rewind
+// their clock before calling this (hier.System.ResetStats does).
 func (c *Cache) ResetDeviceStats() {
 	c.dev.ResetStats()
 	c.busyUntil = 0
+	if c.scrubEvent != nil {
+		c.events.Cancel(c.scrubEvent)
+		c.scrubEvent = nil
+	}
+	c.scheduleScrub()
 }
 
 // AttachClock enables device-contention modelling: with a clock
@@ -510,7 +537,9 @@ func (c *Cache) ResetDeviceStats() {
 // it — the mechanism behind Figure 1(b)'s performance impact. Without
 // a clock (the default), background work is accounted in GCTime and
 // power only. With ScrubPeriod configured, attaching a clock also
-// starts the event-queue-scheduled scrubber.
+// starts the event-queue-scheduled scrubber (taking over from the
+// operation-count trigger); attaching is idempotent — a second call
+// never doubles the scrub cadence.
 func (c *Cache) AttachClock(clock *sim.Clock) {
 	c.clock = clock
 	if c.obs != nil {

@@ -289,8 +289,14 @@ func TestSplitBeatsUnifiedMissRate(t *testing.T) {
 		// OLTP-shaped traffic (dbt2-like): reads spread over 3x the
 		// cache, writes concentrated on a hot subset (dirty rows and
 		// indices) with a disk-level write share of ~15%.
-		reads := sim.NewZipf(rng, 3*int(c.CapacityPages()), 1.1)
-		writes := sim.NewZipf(rng, int(c.CapacityPages())/10, 1.1)
+		reads, err := sim.NewZipf(rng, 3*int(c.CapacityPages()), 1.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writes, err := sim.NewZipf(rng, int(c.CapacityPages())/10, 1.1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := 0; i < 120000; i++ {
 			if rng.Bool(0.15) {
 				c.Write(int64(writes.Next()))

@@ -68,5 +68,100 @@ func (c *Cache) CheckIntegrity() error {
 		return fmt.Errorf("core: integrity: %d valid pages in tables, %d counted globally",
 			valid, c.totalValid)
 	}
+	return c.checkStructure()
+}
+
+// checkStructure audits the allocator's bookkeeping: every block lives
+// in exactly one lifecycle home (a region's free list, a region's open
+// slot, a region's LRU list, or retirement), the LRU lists and block
+// metadata agree about each other, region populations add up, and
+// per-block counters stay within the geometry.
+func (c *Cache) checkStructure() error {
+	// home[b] records where block b was found among the region
+	// structures; every block must be claimed exactly once.
+	home := make([]string, len(c.meta))
+	claim := func(b int, where string) error {
+		if b < 0 || b >= len(c.meta) {
+			return fmt.Errorf("core: integrity: %s lists out-of-range block %d", where, b)
+		}
+		if home[b] != "" {
+			return fmt.Errorf("core: integrity: block %d claimed by both %s and %s",
+				b, home[b], where)
+		}
+		home[b] = where
+		return nil
+	}
+	for _, r := range c.regions {
+		for _, b := range r.free {
+			if err := claim(b, fmt.Sprintf("region %d free list", r.id)); err != nil {
+				return err
+			}
+			if c.meta[b].state != blockFree {
+				return fmt.Errorf("core: integrity: block %d on region %d free list in state %d",
+					b, r.id, c.meta[b].state)
+			}
+		}
+		if r.open >= 0 {
+			if err := claim(r.open, fmt.Sprintf("region %d open slot", r.id)); err != nil {
+				return err
+			}
+			m := &c.meta[r.open]
+			if m.state != blockOpen || m.region != r.id {
+				return fmt.Errorf("core: integrity: open block %d of region %d has (state %d, region %d)",
+					r.open, r.id, m.state, m.region)
+			}
+		}
+		for e := r.lru.Front(); e != nil; e = e.Next() {
+			b, ok := e.Value.(int)
+			if !ok {
+				return fmt.Errorf("core: integrity: region %d LRU holds a non-block element", r.id)
+			}
+			if err := claim(b, fmt.Sprintf("region %d LRU", r.id)); err != nil {
+				return err
+			}
+			m := &c.meta[b]
+			if m.state != blockActive || m.region != r.id {
+				return fmt.Errorf("core: integrity: LRU block %d of region %d has (state %d, region %d)",
+					b, r.id, m.state, m.region)
+			}
+			if m.elem != e {
+				return fmt.Errorf("core: integrity: block %d metadata does not point back at its LRU node", b)
+			}
+		}
+		population := len(r.free) + r.lru.Len()
+		if r.open >= 0 {
+			population++
+		}
+		if population != r.blocks {
+			return fmt.Errorf("core: integrity: region %d holds %d blocks, accounts for %d",
+				r.id, population, r.blocks)
+		}
+	}
+	for b := range c.meta {
+		m := &c.meta[b]
+		if m.state == blockRetired {
+			if home[b] != "" {
+				return fmt.Errorf("core: integrity: retired block %d still on %s", b, home[b])
+			}
+			continue
+		}
+		if home[b] == "" {
+			return fmt.Errorf("core: integrity: block %d in state %d belongs to no region structure",
+				b, m.state)
+		}
+		pages := c.dev.PagesPerBlock(b)
+		if m.valid < 0 || m.consumed < 0 || m.valid > m.consumed || m.consumed > pages {
+			return fmt.Errorf("core: integrity: block %d counters out of range (valid %d, consumed %d, pages %d)",
+				b, m.valid, m.consumed, pages)
+		}
+	}
 	return nil
+}
+
+// RangeCached calls fn for every cached LBA and its Flash address
+// until fn returns false, in unspecified order. It is the read-only
+// enumeration surface differential checkers diff against a reference
+// model; it charges no device operations.
+func (c *Cache) RangeCached(fn func(lba int64, a nand.Addr) bool) {
+	c.fcht.Range(fn)
 }

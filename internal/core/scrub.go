@@ -18,7 +18,11 @@ import (
 // host operations, maybeScrub runs one increment) and, when a clock is
 // attached, events scheduled on the cache's event queue every
 // ScrubPeriod of simulated time — the same background-work accounting
-// GC uses, including device occupancy.
+// GC uses, including device occupancy. Exactly one trigger owns the
+// cadence at any moment: the clock-driven scheduler when a clock is
+// attached and ScrubPeriod > 0, the operation-count trigger otherwise
+// (including ScrubEvery+ScrubPeriod both set without a clock — the
+// period then waits for AttachClock instead of disabling scrubbing).
 
 // maybeScrub runs one scrub increment every ScrubEvery host
 // operations. When the clock-driven scheduler is active it stands
@@ -36,12 +40,16 @@ func (c *Cache) maybeScrub() {
 	}
 }
 
-// scheduleScrub arms the next clock-driven scrub event.
+// scheduleScrub arms the next clock-driven scrub event. Arming is
+// idempotent: while an event is pending, further calls (a second
+// AttachClock, a stats reset) are no-ops, so the cadence is never
+// doubled.
 func (c *Cache) scheduleScrub() {
-	if c.clock == nil || c.cfg.ScrubPeriod <= 0 {
+	if c.clock == nil || c.cfg.ScrubPeriod <= 0 || c.scrubEvent != nil {
 		return
 	}
-	c.events.Schedule(c.clock.Now().Add(c.cfg.ScrubPeriod), func(sim.Time) {
+	c.scrubEvent = c.events.Schedule(c.clock.Now().Add(c.cfg.ScrubPeriod), func(sim.Time) {
+		c.scrubEvent = nil
 		c.scrubStep()
 		c.scheduleScrub()
 	})

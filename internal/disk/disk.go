@@ -5,7 +5,11 @@
 // is small.
 package disk
 
-import "flashdc/internal/sim"
+import (
+	"fmt"
+
+	"flashdc/internal/sim"
+)
 
 // Config holds drive parameters.
 type Config struct {
@@ -17,6 +21,20 @@ type Config struct {
 	// the low-power idle draw (Travelstar 7K60 class drive).
 	ActivePower float64
 	IdlePower   float64
+}
+
+// Validate reports whether the configuration is usable: the zero
+// Config (replaced by DefaultConfig in New) or one with positive
+// access latencies.
+func (c Config) Validate() error {
+	if c == (Config{}) {
+		return nil
+	}
+	if c.ReadLatency <= 0 || c.WriteLatency <= 0 {
+		return fmt.Errorf("disk: non-positive access latency (read %v, write %v)",
+			c.ReadLatency, c.WriteLatency)
+	}
+	return nil
 }
 
 // DefaultConfig returns the Table 3 drive.
@@ -50,14 +68,15 @@ type Disk struct {
 }
 
 // New builds a drive; a zero config is replaced by DefaultConfig.
-func New(cfg Config) *Disk {
+// Any other config with a non-positive latency is an error.
+func New(cfg Config) (*Disk, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg == (Config{}) {
 		cfg = DefaultConfig()
 	}
-	if cfg.ReadLatency <= 0 || cfg.WriteLatency <= 0 {
-		panic("disk: non-positive access latency")
-	}
-	return &Disk{cfg: cfg}
+	return &Disk{cfg: cfg}, nil
 }
 
 // Config returns the drive parameters.

@@ -17,23 +17,30 @@ func TestDefaultConfigMatchesTable3(t *testing.T) {
 }
 
 func TestZeroConfigGetsDefaults(t *testing.T) {
-	d := New(Config{})
+	d, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.Config() != DefaultConfig() {
 		t.Fatal("zero config not defaulted")
 	}
 }
 
-func TestBadConfigPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("bad config did not panic")
-		}
-	}()
-	New(Config{ReadLatency: -1, WriteLatency: 1, ActivePower: 1, IdlePower: 0.1})
+func TestBadConfigRejected(t *testing.T) {
+	cfg := Config{ReadLatency: -1, WriteLatency: 1, ActivePower: 1, IdlePower: 0.1}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted a negative read latency")
+	}
+	if d, err := New(cfg); err == nil || d != nil {
+		t.Fatalf("want error, got (%v, %v)", d, err)
+	}
 }
 
 func TestReadWriteAccounting(t *testing.T) {
-	d := New(Config{})
+	d, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if lat := d.Read(); lat != 4200*sim.Microsecond {
 		t.Fatalf("read latency %v", lat)
 	}

@@ -206,6 +206,19 @@ func (c *Cache) DirtyPages() []int64 {
 	return out
 }
 
+// Range calls fn for every resident page from most to least recently
+// used, with its dirty bit, until fn returns false. It does not touch
+// recency or counters — it is the read-only enumeration surface
+// differential checkers diff against a reference model.
+func (c *Cache) Range(fn func(lba int64, dirty bool) bool) {
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if !fn(e.lba, e.dirty) {
+			return
+		}
+	}
+}
+
 func (c *Cache) insert(lba int64, dirty bool) *Evicted {
 	var ev *Evicted
 	if c.lru.Len() >= c.capacity {

@@ -198,7 +198,10 @@ func TestSecondChanceApproximatesLRUMissRate(t *testing.T) {
 	run := func(p Policy) float64 {
 		c := NewCacheWithPolicy(256*PageSize, p)
 		rng := sim.NewRNG(3)
-		z := sim.NewZipf(rng, 2048, 1.0)
+		z, err := sim.NewZipf(rng, 2048, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var miss, n float64
 		for i := 0; i < 60000; i++ {
 			lba := int64(z.Next())

@@ -255,11 +255,12 @@ type Source interface {
 // RunSources replays the first n global requests with one Source per
 // shard: shard i's goroutine draws from sources[i] and simulates in
 // batches, at most Workers shards simulating at any moment (stream
-// production overlaps with other shards' simulation). It panics
-// unless exactly one source per shard is supplied.
-func (e *Engine) RunSources(sources []Source, n int) {
+// production overlaps with other shards' simulation). Exactly one
+// source per shard must be supplied; a mismatch is reported as an
+// error before any request is simulated.
+func (e *Engine) RunSources(sources []Source, n int) error {
 	if len(sources) != len(e.shards) {
-		panic(fmt.Sprintf("engine: %d sources for %d shards", len(sources), len(e.shards)))
+		return fmt.Errorf("engine: have %d sources for %d shards; RunSources needs exactly one source per shard", len(sources), len(e.shards))
 	}
 	sem := make(chan struct{}, e.Workers())
 	var wg sync.WaitGroup
@@ -287,6 +288,7 @@ func (e *Engine) RunSources(sources []Source, n int) {
 		}(sh, sources[i])
 	}
 	wg.Wait()
+	return nil
 }
 
 // Drain flushes every shard's dirty state down to its disk.

@@ -80,7 +80,9 @@ func runSources(t *testing.T, shards, workers int) *Engine {
 	for i := range sources {
 		sources[i] = workload.NewPartitioned(newTestGen(t), i, shards)
 	}
-	e.RunSources(sources, testRequests)
+	if err := e.RunSources(sources, testRequests); err != nil {
+		t.Fatal(err)
+	}
 	e.Drain()
 	return e
 }
@@ -234,19 +236,20 @@ func TestErrPropagation(t *testing.T) {
 	}
 }
 
-// TestRunSourcesPanicsOnMismatch: the source count is part of the
-// engine's contract.
-func TestRunSourcesPanicsOnMismatch(t *testing.T) {
+// TestRunSourcesRejectsMismatch: the source count is part of the
+// engine's contract; a mismatch must be reported before any request
+// is simulated.
+func TestRunSourcesRejectsMismatch(t *testing.T) {
 	e, err := New(Config{Shards: 2, Hier: testConfig()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("RunSources with wrong source count did not panic")
-		}
-	}()
-	e.RunSources(make([]Source, 1), 10)
+	if err := e.RunSources(make([]Source, 1), 10); err == nil {
+		t.Fatal("RunSources with wrong source count did not error")
+	}
+	if got := e.Stats().Requests; got != 0 {
+		t.Fatalf("mismatched RunSources simulated %d requests", got)
+	}
 }
 
 // TestShardIndependence: every shard must own a disjoint LBA slice, so

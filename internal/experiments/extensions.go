@@ -135,9 +135,12 @@ func ablateChannels(o Options) *Table {
 	}
 	var base float64
 	for _, chips := range []int{1, 2, 4, 8} {
-		a := array.New(array.Config{
+		a, err := array.New(array.Config{
 			Chips: chips, BlocksPerChip: 32, Mode: wear.MLC, Seed: o.Seed,
 		})
+		if err != nil {
+			panic(err) // chips/blocks are compile-time constants above
+		}
 		// Warm: program every page once.
 		for p := int64(0); p < a.Pages(); p++ {
 			if _, err := a.ProgramAt(p, uint64(p), 0); err != nil {

@@ -1,0 +1,411 @@
+// Package harness drives the differential correctness harness: it
+// replays randomized workloads (optionally under fault campaigns)
+// through the real hierarchy — monolithic hier.System or the sharded
+// engine — in lockstep with the naive reference in internal/model,
+// diffing served-tier counters after every operation and full cache
+// state at checkpoints. Any divergence is reported with the operation
+// index that exposed it; the greedy shrinker reduces the triggering
+// sequence to a minimal replayable corpus entry under testdata/.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"flashdc/internal/core"
+	"flashdc/internal/engine"
+	"flashdc/internal/fault"
+	"flashdc/internal/hier"
+	"flashdc/internal/model"
+	"flashdc/internal/sim"
+	"flashdc/internal/trace"
+)
+
+// Config describes one lockstep run. The zero value is not usable;
+// see Default.
+type Config struct {
+	// Name labels the configuration in reports and corpus files.
+	Name string
+	// Seed drives both the workload generator and the simulated
+	// hierarchy (wear sampling, fault injection).
+	Seed uint64
+	// Ops is the number of requests to generate.
+	Ops int
+	// DRAMBytes and FlashBytes size the tiers; FlashBytes 0 drops the
+	// Flash tier entirely.
+	DRAMBytes, FlashBytes int64
+	// FootprintPages bounds the LBA space touched.
+	FootprintPages int64
+	// WriteFrac is the probability a request is a write.
+	WriteFrac float64
+	// MaxRun bounds request lengths: requests are mostly single-page
+	// with occasional runs up to MaxRun pages. 0 means single-page.
+	MaxRun int
+	// Shards > 1 replays through the sharded engine (post-hoc
+	// per-shard diffing); otherwise through hier.System with per-op
+	// diffing.
+	Shards int
+	// CheckEvery is the full-state checkpoint period in ops for the
+	// monolithic path; 0 checks only at the end.
+	CheckEvery int
+	// Faults, when non-nil, runs the workload under this injection
+	// campaign.
+	Faults *fault.Plan
+	// ScrubEvery/ScrubPeriod configure the background scrubber.
+	ScrubEvery  int
+	ScrubPeriod sim.Duration
+}
+
+// Default returns a small, fast, fault-free configuration.
+func Default(seed uint64) Config {
+	return Config{
+		Name:           "default",
+		Seed:           seed,
+		Ops:            20000,
+		DRAMBytes:      64 << 10, // 32 pages: high eviction traffic
+		FlashBytes:     8 << 20,  // 32 MLC blocks
+		FootprintPages: 2048,
+		WriteFrac:      0.3,
+		MaxRun:         4,
+		CheckEvery:     1000,
+	}
+}
+
+// hierConfig assembles the hierarchy configuration a lockstep run
+// simulates. Readahead stays off and the PDC policy stays LRU — the
+// model refuses anything else.
+func hierConfig(cfg Config) hier.Config {
+	hc := hier.Config{
+		DRAMBytes:  cfg.DRAMBytes,
+		FlashBytes: cfg.FlashBytes,
+		Seed:       cfg.Seed,
+	}
+	if cfg.FlashBytes > 0 {
+		fc := core.DefaultConfig(cfg.FlashBytes)
+		fc.Faults = cfg.Faults
+		fc.ScrubEvery = cfg.ScrubEvery
+		fc.ScrubPeriod = cfg.ScrubPeriod
+		hc.Flash = fc
+	}
+	return hc
+}
+
+// Divergence reports the first disagreement between the system and
+// the model.
+type Divergence struct {
+	// Op is the index of the request that exposed the divergence, or
+	// -1 when it surfaced during the final drain.
+	Op int
+	// Req is the request at Op (zero for the final drain).
+	Req trace.Request
+	// Detail describes the disagreement.
+	Detail string
+}
+
+func (d *Divergence) Error() string {
+	if d.Op < 0 {
+		return fmt.Sprintf("divergence after drain: %s", d.Detail)
+	}
+	return fmt.Sprintf("divergence at op %d (%s): %s", d.Op, formatReq(d.Req), d.Detail)
+}
+
+// Generate produces the request sequence for cfg.
+func Generate(cfg Config) []trace.Request {
+	rng := sim.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	reqs := make([]trace.Request, cfg.Ops)
+	for i := range reqs {
+		req := trace.Request{Op: trace.OpRead, Pages: 1}
+		if rng.Bool(cfg.WriteFrac) {
+			req.Op = trace.OpWrite
+		}
+		if cfg.MaxRun > 1 && rng.Bool(0.15) {
+			req.Pages = 1 + rng.Intn(cfg.MaxRun)
+		}
+		span := cfg.FootprintPages - int64(req.Pages)
+		if span < 1 {
+			span = 1
+		}
+		req.LBA = int64(rng.Uint64n(uint64(span)))
+		reqs[i] = req
+	}
+	return reqs
+}
+
+// Run generates cfg's workload and replays it in lockstep. It returns
+// nil when system and model agree throughout, or the first
+// *Divergence.
+func Run(cfg Config) error { return Replay(cfg, Generate(cfg)) }
+
+// Replay runs an explicit request sequence in lockstep under cfg's
+// hierarchy configuration. The sequence-as-argument form is what the
+// shrinker minimizes over and the corpus replays.
+func Replay(cfg Config, reqs []trace.Request) error {
+	if cfg.Shards > 1 {
+		return replaySharded(cfg, reqs)
+	}
+	return replayMonolithic(cfg, reqs)
+}
+
+// replayMonolithic diffs after every operation: the DRAM-served page
+// count must match the model exactly, Flash may serve only pages the
+// model allows, and the tier counts must add up. Full-state
+// checkpoints run every CheckEvery ops and after the final drain.
+func replayMonolithic(cfg Config, reqs []trace.Request) error {
+	hc := hierConfig(cfg)
+	return lockstep(hc, hc, reqs, cfg.CheckEvery)
+}
+
+// lockstep is the per-op diffing loop. The system and model configs
+// are separate parameters so tests can prove the harness detects a
+// mismatched pair; real runs pass the same config twice.
+func lockstep(sysCfg, modelCfg hier.Config, reqs []trace.Request, checkEvery int) error {
+	m, err := model.New(modelCfg)
+	if err != nil {
+		return err
+	}
+	sys := hier.New(sysCfg)
+	var prev hier.Stats
+	for i, req := range reqs {
+		pred := m.Step(req)
+		// Degraded service (dead or bypassed Flash) is not a
+		// divergence: requests are still served correctly from the
+		// remaining tiers, which is exactly what the model checks.
+		if _, err := sys.Handle(req); err != nil &&
+			err != hier.ErrFlashDead && err != hier.ErrFlashBypassed {
+			return fmt.Errorf("harness: op %d: %w", i, err)
+		}
+		st := sys.Stats()
+		pdc := st.PDCHits - prev.PDCHits
+		flash := st.FlashHits - prev.FlashHits
+		disk := st.DiskReads - prev.DiskReads
+		prev = st
+		if pdc != int64(pred.PDCHits) {
+			return &Divergence{Op: i, Req: req, Detail: fmt.Sprintf(
+				"DRAM served %d pages, model requires exactly %d", pdc, pred.PDCHits)}
+		}
+		if flash+disk != int64(len(pred.NonDRAM)) {
+			return &Divergence{Op: i, Req: req, Detail: fmt.Sprintf(
+				"flash+disk served %d pages, model requires %d", flash+disk, len(pred.NonDRAM))}
+		}
+		possible := int64(0)
+		for _, f := range pred.NonDRAM {
+			if f.FlashPossible {
+				possible++
+			}
+		}
+		if flash > possible {
+			return &Divergence{Op: i, Req: req, Detail: fmt.Sprintf(
+				"Flash served %d pages, model allows at most %d", flash, possible)}
+		}
+		if checkEvery > 0 && (i+1)%checkEvery == 0 {
+			if err := model.Check(sys, m); err != nil {
+				return &Divergence{Op: i, Req: req, Detail: err.Error()}
+			}
+		}
+	}
+	sys.Drain()
+	m.Drain()
+	if err := model.Check(sys, m); err != nil {
+		return &Divergence{Op: -1, Detail: err.Error()}
+	}
+	return nil
+}
+
+// replaySharded pushes the stream through the sharded engine
+// concurrently (which is what a race-detector CI job wants exercised),
+// then replays each shard's slice of the stream through its own model
+// and diffs per-shard state and counters post-hoc.
+func replaySharded(cfg Config, reqs []trace.Request) error {
+	hc := hierConfig(cfg)
+	eng, err := engine.New(engine.Config{Shards: cfg.Shards, Hier: hc})
+	if err != nil {
+		return err
+	}
+	i := 0
+	eng.RunStream(func() (trace.Request, bool) {
+		if i >= len(reqs) {
+			return trace.Request{}, false
+		}
+		req := reqs[i]
+		i++
+		return req, true
+	}, len(reqs))
+	eng.Drain()
+	// Each shard is an independent hierarchy sized at 1/N of the
+	// configured capacities (see engine.New); the per-shard model must
+	// mirror the shard it checks, not the whole machine.
+	shardHC := hc
+	shardHC.DRAMBytes = hc.DRAMBytes / int64(cfg.Shards)
+	shardHC.FlashBytes = hc.FlashBytes / int64(cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		m, err := model.New(shardHC)
+		if err != nil {
+			return err
+		}
+		var predPDC, predNonDRAM, predPossible int64
+		for _, req := range reqs {
+			trace.SplitRuns(req, cfg.Shards, func(shard int, run trace.Request) {
+				if shard != s {
+					return
+				}
+				p := m.Step(run)
+				predPDC += int64(p.PDCHits)
+				predNonDRAM += int64(len(p.NonDRAM))
+				for _, f := range p.NonDRAM {
+					if f.FlashPossible {
+						predPossible++
+					}
+				}
+			})
+		}
+		m.Drain()
+		sys := eng.Shard(s)
+		st := sys.Stats()
+		if st.PDCHits != predPDC {
+			return &Divergence{Op: -1, Detail: fmt.Sprintf(
+				"shard %d: DRAM served %d pages, model requires exactly %d", s, st.PDCHits, predPDC)}
+		}
+		if st.FlashHits+st.DiskReads != predNonDRAM {
+			return &Divergence{Op: -1, Detail: fmt.Sprintf(
+				"shard %d: flash+disk served %d pages, model requires %d",
+				s, st.FlashHits+st.DiskReads, predNonDRAM)}
+		}
+		if st.FlashHits > predPossible {
+			return &Divergence{Op: -1, Detail: fmt.Sprintf(
+				"shard %d: Flash served %d pages, model allows at most %d", s, st.FlashHits, predPossible)}
+		}
+		if err := model.Check(sys, m); err != nil {
+			return &Divergence{Op: -1, Detail: fmt.Sprintf("shard %d: %v", s, err)}
+		}
+	}
+	return nil
+}
+
+// Shrink greedily minimizes a failing request sequence: it repeatedly
+// tries dropping chunks (halving the chunk size down to single
+// requests) and keeps any reduction under which Replay still
+// diverges. The result replays to a divergence under cfg.
+func Shrink(cfg Config, reqs []trace.Request) []trace.Request {
+	return shrinkWith(cfg, reqs, func(seq []trace.Request) bool {
+		// Only genuine divergences count; config errors would make
+		// the empty sequence "fail" and shrink everything away.
+		var d *Divergence
+		return asDivergence(Replay(cfg, seq), &d)
+	})
+}
+
+// shrinkWith is Shrink with an explicit failure predicate (the seam
+// the shrinker's own tests use).
+func shrinkWith(_ Config, reqs []trace.Request, fails func([]trace.Request) bool) []trace.Request {
+	if !fails(reqs) {
+		return reqs
+	}
+	for chunk := len(reqs) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start+chunk <= len(reqs); {
+			candidate := make([]trace.Request, 0, len(reqs)-chunk)
+			candidate = append(candidate, reqs[:start]...)
+			candidate = append(candidate, reqs[start+chunk:]...)
+			if fails(candidate) {
+				reqs = candidate
+				removed = true
+				// Re-test the same start against the shorter tail.
+			} else {
+				start += chunk
+			}
+		}
+		if !removed && chunk == 1 {
+			break
+		}
+		if chunk > 1 {
+			chunk /= 2
+		} else if !removed {
+			break
+		}
+	}
+	return reqs
+}
+
+func asDivergence(err error, out **Divergence) bool {
+	d, ok := err.(*Divergence)
+	if ok {
+		*out = d
+	}
+	return ok
+}
+
+// corpusHeader is the first line of a corpus file: the JSON-encoded
+// Config behind a trace comment marker, so the body stays a plain
+// trace.Reader stream.
+const corpusHeader = "# harness-config "
+
+// WriteCorpus saves a (config, sequence) pair as a replayable corpus
+// entry.
+func WriteCorpus(path string, cfg Config, reqs []trace.Request) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc, err := json.Marshal(cfg)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	w := trace.NewWriter(f)
+	if _, err := fmt.Fprintf(f, "%s%s\n", corpusHeader, enc); err != nil {
+		f.Close()
+		return err
+	}
+	for _, req := range reqs {
+		if err := w.Write(req); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCorpus reads a corpus entry back.
+func LoadCorpus(path string) (Config, []trace.Request, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	text := string(data)
+	nl := strings.IndexByte(text, '\n')
+	if nl < 0 || !strings.HasPrefix(text, corpusHeader) {
+		return Config{}, nil, fmt.Errorf("harness: %s: missing config header", path)
+	}
+	var cfg Config
+	if err := json.Unmarshal([]byte(text[len(corpusHeader):nl]), &cfg); err != nil {
+		return Config{}, nil, fmt.Errorf("harness: %s: %v", path, err)
+	}
+	r := trace.NewReader(strings.NewReader(text[nl+1:]))
+	var reqs []trace.Request
+	for {
+		req, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Config{}, nil, fmt.Errorf("harness: %s: %v", path, err)
+		}
+		reqs = append(reqs, req)
+	}
+	return cfg, reqs, nil
+}
+
+func formatReq(req trace.Request) string {
+	op := "R"
+	if req.Op == trace.OpWrite {
+		op = "W"
+	}
+	return fmt.Sprintf("%s %d %d", op, req.LBA, req.Pages)
+}

@@ -154,10 +154,16 @@ func New(cfg Config) *System {
 	if cfg.DRAMBytes < dram.PageSize {
 		panic(fmt.Sprintf("hier: DRAM %d bytes too small", cfg.DRAMBytes))
 	}
+	drive, err := disk.New(cfg.Disk)
+	if err != nil {
+		// Sizing the drive is a design-time decision in every caller,
+		// like the DRAM floor above.
+		panic("hier: " + err.Error())
+	}
 	s := &System{
 		cfg:  cfg,
 		pdc:  dram.NewCacheWithPolicy(cfg.DRAMBytes, cfg.PDCPolicy),
-		disk: disk.New(cfg.Disk),
+		disk: drive,
 	}
 	if cfg.Observer.Enabled() {
 		s.obs = cfg.Observer
@@ -289,6 +295,10 @@ func (s *System) CheckIntegrity() error {
 
 // Flash exposes the Flash cache, or nil for the DRAM-only baseline.
 func (s *System) Flash() *core.Cache { return s.flash }
+
+// PDC exposes the DRAM primary disk cache for inspection (read-only
+// uses: differential checkers enumerate its contents via Range).
+func (s *System) PDC() *dram.Cache { return s.pdc }
 
 // Stats returns a copy of the hierarchy counters.
 func (s *System) Stats() Stats { return s.stats }
@@ -464,6 +474,12 @@ func (s *System) ResetStats() {
 	s.latencies = sim.Histogram{}
 	s.pdc.ResetStats()
 	s.disk.ResetStats()
+	// Rewind the clock before the Flash reset: ResetDeviceStats
+	// re-arms the clock-driven scrubber from the current reading, so
+	// the order decides whether the next scrub fires one period into
+	// the measurement phase (correct) or one period past the end of
+	// warmup (never, for a rewound clock).
+	s.clock = sim.Clock{}
 	if s.flash != nil {
 		s.flash.ResetDeviceStats()
 	}
@@ -472,5 +488,4 @@ func (s *System) ResetStats() {
 			r.resetTierStats()
 		}
 	}
-	s.clock = sim.Clock{}
 }

@@ -13,7 +13,11 @@
 // DESIGN.md section 3 records the substitution.
 package server
 
-import "flashdc/internal/sim"
+import (
+	"fmt"
+
+	"flashdc/internal/sim"
+)
 
 // Model is a closed-loop server.
 type Model struct {
@@ -24,6 +28,18 @@ type Model struct {
 	ServiceTime sim.Duration
 	// BytesPerRequest converts request rate to network bandwidth.
 	BytesPerRequest int64
+}
+
+// Validate reports whether the model can produce a throughput figure:
+// at least one worker and a positive per-request time floor.
+func (m Model) Validate() error {
+	if m.Workers <= 0 {
+		return fmt.Errorf("server: need at least one worker, have %d", m.Workers)
+	}
+	if m.ServiceTime <= 0 {
+		return fmt.Errorf("server: need a positive service time, have %v", m.ServiceTime)
+	}
+	return nil
 }
 
 // Default returns a model matched to the Table 3 platform: 8 cores,
@@ -37,17 +53,18 @@ func Default() Model {
 }
 
 // Throughput returns requests per second at the given average
-// I/O latency per request.
+// I/O latency per request. A degenerate model (Validate fails)
+// yields 0 rather than a panic; callers that want the distinction
+// between "no throughput" and "misconfigured" call Validate first.
 func (m Model) Throughput(avgIO sim.Duration) float64 {
-	if m.Workers <= 0 {
-		panic("server: need at least one worker")
+	if m.Validate() != nil {
+		return 0
 	}
 	per := m.ServiceTime + avgIO
 	if per <= 0 {
+		// A negative avgIO outweighing the service time is
+		// meaningless; fall back to the CPU-saturated rate.
 		per = m.ServiceTime
-		if per <= 0 {
-			panic("server: non-positive request time")
-		}
 	}
 	return float64(m.Workers) / per.Seconds()
 }

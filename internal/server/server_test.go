@@ -52,13 +52,25 @@ func TestElapsed(t *testing.T) {
 	}
 }
 
-func TestPanicsOnBadModel(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero workers did not panic")
+func TestDegenerateModelRejected(t *testing.T) {
+	for _, m := range []Model{
+		{},
+		{Workers: 0, ServiceTime: sim.Microsecond},
+		{Workers: 2, ServiceTime: 0},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", m)
 		}
-	}()
-	Model{}.Throughput(0)
+		if got := m.Throughput(0); got != 0 {
+			t.Fatalf("Throughput on %+v = %v, want 0", m, got)
+		}
+		if got := m.Bandwidth(0); got != 0 {
+			t.Fatalf("Bandwidth on %+v = %v, want 0", m, got)
+		}
+	}
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDefaultMatchesPlatform(t *testing.T) {

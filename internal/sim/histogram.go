@@ -115,14 +115,21 @@ func (h *Histogram) Min() Duration { return h.min }
 // Max returns the largest observed sample.
 func (h *Histogram) Max() Duration { return h.max }
 
-// Quantile returns an approximation of the q-quantile (0 < q <= 1),
-// accurate to the bucket resolution (~10%). Zero when empty.
+// Quantile returns an approximation of the q-quantile, accurate to the
+// bucket resolution (~10%). Every input has a defined result: an empty
+// histogram yields 0 for any q, out-of-range quantiles clamp to the
+// observed extremes (q <= 0 yields Min, q > 1 yields Max), and a
+// histogram whose samples all landed in one bucket yields a value
+// within [Min, Max] (exactly the sample when Min == Max).
 func (h *Histogram) Quantile(q float64) Duration {
 	if h.total == 0 {
 		return 0
 	}
-	if q <= 0 || q > 1 {
-		panic(fmt.Sprintf("sim: quantile %v outside (0,1]", q))
+	if q <= 0 || math.IsNaN(q) {
+		return h.min
+	}
+	if q > 1 {
+		return h.max
 	}
 	rank := uint64(math.Ceil(q * float64(h.total)))
 	if rank == 0 {
@@ -149,7 +156,8 @@ func (h *Histogram) Quantile(q float64) Duration {
 	return h.max
 }
 
-// String summarises the distribution.
+// String summarises the distribution. It never panics: an empty
+// histogram formats as "histogram{empty}".
 func (h *Histogram) String() string {
 	if h.total == 0 {
 		return "histogram{empty}"

@@ -69,18 +69,29 @@ func TestHistogramZeroAndHugeValues(t *testing.T) {
 	}
 }
 
-func TestHistogramQuantilePanics(t *testing.T) {
+func TestHistogramQuantileEdges(t *testing.T) {
+	// Out-of-range quantiles clamp to the observed extremes instead of
+	// panicking; NaN behaves like q <= 0.
 	var h Histogram
-	h.Observe(1)
-	for _, q := range []float64{0, -1, 1.5} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("Quantile(%v) did not panic", q)
-				}
-			}()
-			h.Quantile(q)
-		}()
+	h.Observe(10)
+	h.Observe(90_000)
+	for _, tc := range []struct {
+		q    float64
+		want Duration
+	}{
+		{0, 10}, {-1, 10}, {math.NaN(), 10},
+		{1.5, 90_000}, {2, 90_000},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// An empty histogram is defined for every q.
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // RNG is a deterministic pseudo-random generator (xoshiro256**) seeded
 // via splitmix64. It is not safe for concurrent use; give each model its
@@ -58,7 +61,8 @@ func (r *RNG) Uint64() uint64 {
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
-// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Intn returns a uniform integer in [0, n). Like math/rand.Intn it
+// panics if n <= 0 — a caller bug, not a configuration to validate.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
@@ -150,12 +154,18 @@ type Zipf struct {
 }
 
 // NewZipf builds a Zipf sampler over n items with exponent alpha > 0.
-func NewZipf(rng *RNG, n int, alpha float64) *Zipf {
-	if n <= 0 {
-		panic("sim: Zipf with non-positive n")
+// A degenerate configuration (n <= 0, alpha <= 0 or NaN, nil rng) is
+// reported as an error rather than a panic: the parameters usually come
+// straight from workload configuration.
+func NewZipf(rng *RNG, n int, alpha float64) (*Zipf, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("sim: Zipf needs an RNG")
 	}
-	if alpha <= 0 {
-		panic("sim: Zipf with non-positive alpha")
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: Zipf needs a positive item count, have %d", n)
+	}
+	if !(alpha > 0) {
+		return nil, fmt.Errorf("sim: Zipf needs a positive alpha, have %v", alpha)
 	}
 	cdf := make([]float64, n)
 	sum := 0.0
@@ -168,7 +178,7 @@ func NewZipf(rng *RNG, n int, alpha float64) *Zipf {
 		cdf[k] *= inv
 	}
 	cdf[n-1] = 1 // guard against rounding
-	return &Zipf{cdf: cdf, rng: rng}
+	return &Zipf{cdf: cdf, rng: rng}, nil
 }
 
 // N returns the number of items the sampler draws from.
@@ -200,15 +210,19 @@ type Exponential struct {
 }
 
 // NewExponential builds an exponential sampler over n items with rate
-// lambda > 0.
-func NewExponential(rng *RNG, n int, lambda float64) *Exponential {
+// lambda > 0. Degenerate configurations are reported as errors, like
+// NewZipf.
+func NewExponential(rng *RNG, n int, lambda float64) (*Exponential, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("sim: Exponential needs an RNG")
+	}
 	if n <= 0 {
-		panic("sim: Exponential with non-positive n")
+		return nil, fmt.Errorf("sim: Exponential needs a positive item count, have %d", n)
 	}
-	if lambda <= 0 {
-		panic("sim: Exponential with non-positive lambda")
+	if !(lambda > 0) {
+		return nil, fmt.Errorf("sim: Exponential needs a positive lambda, have %v", lambda)
 	}
-	return &Exponential{lambda: lambda, n: n, rng: rng}
+	return &Exponential{lambda: lambda, n: n, rng: rng}, nil
 }
 
 // Next returns the next sample: rank 0 is the most popular item.

@@ -114,7 +114,10 @@ func TestPermIsPermutation(t *testing.T) {
 
 func TestZipfRankOrder(t *testing.T) {
 	r := NewRNG(21)
-	z := NewZipf(r, 1000, 1.2)
+	z, err := NewZipf(r, 1000, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	counts := make([]int, 1000)
 	const n = 300000
 	for i := 0; i < n; i++ {
@@ -139,7 +142,10 @@ func TestZipfRankOrder(t *testing.T) {
 
 func TestZipfRange(t *testing.T) {
 	r := NewRNG(22)
-	z := NewZipf(r, 17, 0.8)
+	z, err := NewZipf(r, 17, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if z.N() != 17 {
 		t.Fatalf("N() = %d, want 17", z.N())
 	}
@@ -152,7 +158,10 @@ func TestZipfRange(t *testing.T) {
 
 func TestExponentialSampler(t *testing.T) {
 	r := NewRNG(23)
-	e := NewExponential(r, 10000, 0.1)
+	e, err := NewExponential(r, 10000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	counts := make([]int, 10000)
 	const n = 200000
 	for i := 0; i < n; i++ {
@@ -170,22 +179,23 @@ func TestExponentialSampler(t *testing.T) {
 	}
 }
 
-func TestSamplerConstructorsPanic(t *testing.T) {
+func TestSamplerConstructorsReject(t *testing.T) {
 	r := NewRNG(1)
-	for _, fn := range []func(){
-		func() { NewZipf(r, 0, 1) },
-		func() { NewZipf(r, 10, 0) },
-		func() { NewExponential(r, 0, 1) },
-		func() { NewExponential(r, 10, 0) },
+	for _, tc := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"zipf zero n", func() error { _, err := NewZipf(r, 0, 1); return err }},
+		{"zipf zero alpha", func() error { _, err := NewZipf(r, 10, 0); return err }},
+		{"zipf nan alpha", func() error { _, err := NewZipf(r, 10, math.NaN()); return err }},
+		{"zipf nil rng", func() error { _, err := NewZipf(nil, 10, 1); return err }},
+		{"exp zero n", func() error { _, err := NewExponential(r, 0, 1); return err }},
+		{"exp zero lambda", func() error { _, err := NewExponential(r, 10, 0); return err }},
+		{"exp nil rng", func() error { _, err := NewExponential(nil, 10, 1); return err }},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("invalid sampler construction did not panic")
-				}
-			}()
-			fn()
-		}()
+		if err := tc.fn(); err == nil {
+			t.Errorf("%s: invalid sampler construction returned no error", tc.name)
+		}
 	}
 }
 

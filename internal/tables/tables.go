@@ -91,13 +91,14 @@ type FPST struct {
 
 // NewFPST builds a table for a device with the given block count,
 // every page starting invalid at the given base configuration.
-// saturate is the access-counter ceiling.
-func NewFPST(blocks int, baseStrength ecc.Strength, baseMode wear.Mode, saturate uint32) *FPST {
+// saturate is the access-counter ceiling. A non-positive block count
+// or a zero saturation ceiling is a configuration error.
+func NewFPST(blocks int, baseStrength ecc.Strength, baseMode wear.Mode, saturate uint32) (*FPST, error) {
 	if blocks <= 0 {
-		panic("tables: FPST needs at least one block")
+		return nil, fmt.Errorf("tables: FPST needs at least one block, have %d", blocks)
 	}
 	if saturate == 0 {
-		panic("tables: access counter must saturate above zero")
+		return nil, fmt.Errorf("tables: access counter must saturate above zero")
 	}
 	f := &FPST{pages: make([][]([2]PageStatus), blocks), saturate: saturate}
 	for b := range f.pages {
@@ -114,7 +115,7 @@ func NewFPST(blocks int, baseStrength ecc.Strength, baseMode wear.Mode, saturate
 			}
 		}
 	}
-	return f
+	return f, nil
 }
 
 // At returns the status entry for a Flash page. The pointer stays
@@ -166,15 +167,16 @@ type FBST struct {
 
 // NewFBST builds a table for the given block count. K1 and K2 are the
 // positive weight factors; the defaults used by the cache are set by
-// the caller so ablations can sweep them.
-func NewFBST(blocks int, k1, k2 float64) *FBST {
+// the caller so ablations can sweep them. A non-positive block count
+// or weights violating 0 < K1 < K2 is a configuration error.
+func NewFBST(blocks int, k1, k2 float64) (*FBST, error) {
 	if blocks <= 0 {
-		panic("tables: FBST needs at least one block")
+		return nil, fmt.Errorf("tables: FBST needs at least one block, have %d", blocks)
 	}
 	if k1 <= 0 || k2 <= k1 {
-		panic(fmt.Sprintf("tables: want 0 < K1 < K2, got K1=%v K2=%v", k1, k2))
+		return nil, fmt.Errorf("tables: want 0 < K1 < K2, got K1=%v K2=%v", k1, k2)
 	}
-	return &FBST{K1: k1, K2: k2, blocks: make([]BlockStatus, blocks)}
+	return &FBST{K1: k1, K2: k2, blocks: make([]BlockStatus, blocks)}, nil
 }
 
 // At returns the status entry for block b.

@@ -68,7 +68,10 @@ func TestFCHTProperty(t *testing.T) {
 }
 
 func TestFPSTInitialState(t *testing.T) {
-	f := NewFPST(4, 1, wear.MLC, 8)
+	f, err := NewFPST(4, 1, wear.MLC, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := f.At(nand.Addr{Block: 3, Slot: 63, Sub: 1})
 	if st.Strength != 1 || st.Mode != wear.MLC || st.Valid || st.LBA != InvalidLBA {
 		t.Fatalf("initial entry %+v", st)
@@ -79,7 +82,10 @@ func TestFPSTInitialState(t *testing.T) {
 }
 
 func TestFPSTPointerStability(t *testing.T) {
-	f := NewFPST(2, 1, wear.SLC, 4)
+	f, err := NewFPST(2, 1, wear.SLC, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := nand.Addr{Block: 1, Slot: 5}
 	f.At(a).Valid = true
 	f.At(a).LBA = 77
@@ -89,7 +95,10 @@ func TestFPSTPointerStability(t *testing.T) {
 }
 
 func TestFPSTIncAccessSaturates(t *testing.T) {
-	f := NewFPST(1, 1, wear.MLC, 3)
+	f, err := NewFPST(1, 1, wear.MLC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := nand.Addr{}
 	for i := 1; i <= 2; i++ {
 		if f.IncAccess(a) {
@@ -107,24 +116,26 @@ func TestFPSTIncAccessSaturates(t *testing.T) {
 	}
 }
 
-func TestFPSTConstructorPanics(t *testing.T) {
-	for _, fn := range []func(){
-		func() { NewFPST(0, 1, wear.SLC, 4) },
-		func() { NewFPST(1, 1, wear.SLC, 0) },
+func TestFPSTConstructorRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		blocks int
+		sat    uint32
+	}{
+		{"zero blocks", 0, 4},
+		{"zero saturation", 1, 0},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("bad FPST construction did not panic")
-				}
-			}()
-			fn()
-		}()
+		if f, err := NewFPST(tc.blocks, 1, wear.SLC, tc.sat); err == nil || f != nil {
+			t.Fatalf("%s: want error, got (%v, %v)", tc.name, f, err)
+		}
 	}
 }
 
 func TestFBSTWearOutFormula(t *testing.T) {
-	f := NewFBST(3, 2, 20)
+	f, err := NewFBST(3, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := f.At(1)
 	st.Erases = 100
 	st.TotalECC = 30
@@ -142,7 +153,10 @@ func TestFBSTWearOutFormula(t *testing.T) {
 }
 
 func TestFBSTNewest(t *testing.T) {
-	f := NewFBST(4, 1, 10)
+	f, err := NewFBST(4, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f.At(0).Erases = 50
 	f.At(1).Erases = 10
 	f.At(2).Erases = 30
@@ -163,20 +177,19 @@ func TestFBSTNewest(t *testing.T) {
 	}
 }
 
-func TestFBSTConstructorPanics(t *testing.T) {
-	for _, fn := range []func(){
-		func() { NewFBST(0, 1, 2) },
-		func() { NewFBST(1, 0, 2) },
-		func() { NewFBST(1, 3, 2) }, // K2 must exceed K1
+func TestFBSTConstructorRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		blocks int
+		k1, k2 float64
+	}{
+		{"zero blocks", 0, 1, 2},
+		{"zero K1", 1, 0, 2},
+		{"K2 not above K1", 1, 3, 2},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("bad FBST construction did not panic")
-				}
-			}()
-			fn()
-		}()
+		if f, err := NewFBST(tc.blocks, tc.k1, tc.k2); err == nil || f != nil {
+			t.Fatalf("%s: want error, got (%v, %v)", tc.name, f, err)
+		}
 	}
 }
 

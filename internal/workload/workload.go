@@ -24,6 +24,27 @@ import (
 // PageBytes is the footprint unit (2KB disk pages).
 const PageBytes = 2048
 
+// mustZipf and mustExp wrap the sim sampler constructors for the
+// catalog builders: every parameter reaching them has been validated by
+// New (positive page counts) or is a catalog constant (positive alpha /
+// lambda), so a constructor error here is an internal invariant
+// violation, not a configuration problem.
+func mustZipf(rng *sim.RNG, n int, alpha float64) *sim.Zipf {
+	z, err := sim.NewZipf(rng, n, alpha)
+	if err != nil {
+		panic("workload: internal: " + err.Error())
+	}
+	return z
+}
+
+func mustExp(rng *sim.RNG, n int, lambda float64) *sim.Exponential {
+	e, err := sim.NewExponential(rng, n, lambda)
+	if err != nil {
+		panic("workload: internal: " + err.Error())
+	}
+	return e
+}
+
 // Generator produces an endless request stream.
 type Generator interface {
 	// Next returns the next request.
@@ -94,12 +115,12 @@ type Spec struct {
 func zipfBuilder(name string, alpha float64, writeWSSFrac float64) func(int64, float64, uint64) Generator {
 	return func(pages int64, writeFrac float64, seed uint64) Generator {
 		rng := sim.NewRNG(seed)
-		read := sim.NewZipf(rng, int(pages), alpha)
+		read := mustZipf(rng, int(pages), alpha)
 		wPages := int(float64(pages) * writeWSSFrac)
 		if wPages < 16 {
 			wPages = 16
 		}
-		write := sim.NewZipf(rng, wPages, alpha)
+		write := mustZipf(rng, wPages, alpha)
 		return &ranked{
 			name: name, pages: pages, writeFrac: writeFrac, rng: rng,
 			readRank: read.Next, writeRank: write.Next,
@@ -113,8 +134,8 @@ func expBuilder(name string, lambda float64) func(int64, float64, uint64) Genera
 		// Lambda is quoted for the paper's 512MB footprint (262144
 		// pages); rescale so the tail shape is footprint-invariant.
 		l := lambda * 262144 / float64(pages)
-		read := sim.NewExponential(rng, int(pages), l)
-		write := sim.NewExponential(rng, int(pages), l)
+		read := mustExp(rng, int(pages), l)
+		write := mustExp(rng, int(pages), l)
 		return &ranked{
 			name: name, pages: pages, writeFrac: writeFrac, rng: rng,
 			readRank: read.Next, writeRank: write.Next,
@@ -136,12 +157,12 @@ func uniformBuilder(name string) func(int64, float64, uint64) Generator {
 func macroBuilder(name string, alpha, writeWSSFrac float64, seqRun int) func(int64, float64, uint64) Generator {
 	return func(pages int64, writeFrac float64, seed uint64) Generator {
 		rng := sim.NewRNG(seed)
-		read := sim.NewZipf(rng, int(pages), alpha)
+		read := mustZipf(rng, int(pages), alpha)
 		wPages := int(float64(pages) * writeWSSFrac)
 		if wPages < 16 {
 			wPages = 16
 		}
-		write := sim.NewZipf(rng, wPages, alpha)
+		write := mustZipf(rng, wPages, alpha)
 		return &ranked{
 			name: name, pages: pages, writeFrac: writeFrac, rng: rng,
 			readRank: read.Next, writeRank: write.Next, seqRun: seqRun,
