@@ -1,0 +1,90 @@
+// Command benchperf turns `go test -bench` text output into the
+// repo's BENCH_hotpath.json summary and gates it against a committed
+// baseline.
+//
+// It reads benchmark result lines (run the benchmarks with -benchmem
+// and -count=N; repeats of the same benchmark are collapsed to their
+// median, which is robust against scheduler noise on shared CI
+// runners), writes a machine-readable summary, and — when -baseline is
+// given — compares the fresh medians against the committed ones:
+//
+//	go test -run '^$' -bench ... -benchmem -count=5 ./... |
+//	    go run ./cmd/benchperf -out BENCH_hotpath.json \
+//	        -baseline perf/baseline.json -threshold 0.15
+//
+// The comparison fails (exit code 1) when a benchmark present in both
+// summaries regresses by more than the threshold in ns/op, or grows
+// its allocs/op beyond the baseline by more than one allocation and
+// the threshold fraction. Benchmarks only on one side are reported but
+// never fail the gate, so adding or retiring benchmarks does not
+// require a lockstep baseline edit. ns/op baselines are only
+// meaningful on comparable hardware; refresh perf/baseline.json (just
+// redirect -out over it) whenever the reference machine changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "-", "benchmark text input: a file path or - for stdin")
+		out       = flag.String("out", "-", "JSON summary output: a file path or - for stdout")
+		baseline  = flag.String("baseline", "", "committed baseline JSON to gate against (off when empty)")
+		threshold = flag.Float64("threshold", 0.15, "relative regression budget for the gate")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("benchperf: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	sum, err := Parse(r)
+	if err != nil {
+		fatalf("benchperf: %v", err)
+	}
+	if len(sum.Benchmarks) == 0 {
+		fatalf("benchperf: no benchmark result lines in %s", *in)
+	}
+
+	blob, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fatalf("benchperf: %v", err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatalf("benchperf: %v", err)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := LoadSummary(*baseline)
+	if err != nil {
+		fatalf("benchperf: %v", err)
+	}
+	report := Compare(base, sum, *threshold)
+	for _, line := range report.Lines {
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if len(report.Regressions) > 0 {
+		fatalf("benchperf: %d benchmark(s) regressed beyond the %.0f%% budget", len(report.Regressions), *threshold*100)
+	}
+	fmt.Fprintln(os.Stderr, "benchperf: within budget")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -15,6 +15,7 @@ package bch
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"flashdc/internal/gf"
 )
@@ -36,6 +37,33 @@ type Code struct {
 	n     int // shortened code length = k + p
 
 	gen []uint64 // generator polynomial bits (degree p)
+
+	// Table-driven kernel state, built once by New (see kernels.go).
+	// encTab is the byte-step remainder table: 256 rows of len(gen)
+	// words, row v holding (v(x) * x^p) mod g for the 8-bit message
+	// polynomial v fed MSB-first. synTab[r] evaluates an 8-bit
+	// polynomial at alpha^(2r+1); synStep8/synShift hold the Horner
+	// multiplier and parity-offset logs for the same odd syndrome rows.
+	encTab   []uint64
+	synTab   [][256]uint16
+	synStep8 []int
+	synShift []int
+
+	// scratch pools per-decode working memory (syndromes, Chien state,
+	// error positions) so steady-state Decode stays off the allocator.
+	scratch sync.Pool
+}
+
+// decodeScratch is the reusable working set of one Decode call.
+type decodeScratch struct {
+	synd      []uint16
+	positions []int
+	chienLog  []int32
+	chienStep []int32
+	// bm0..bm2 back the three Berlekamp–Massey polynomials (current,
+	// previous, next); the algorithm rotates them instead of
+	// allocating a fresh polynomial per discrepancy.
+	bm0, bm1, bm2 gf.Poly
 }
 
 // New constructs a t-error-correcting code for dataBits of payload over
@@ -48,7 +76,10 @@ func New(m, t, dataBits int) (*Code, error) {
 	if dataBits < 1 {
 		return nil, fmt.Errorf("bch: dataBits must be >= 1, got %d", dataBits)
 	}
-	field := gf.NewField(m)
+	// All codes over the same degree share one immutable field: the
+	// exp/log tables dominate a code's memory footprint, and the ECC
+	// codec builds one code per strength over the same GF(2^15).
+	field := gf.Cached(m)
 	// Generator = lcm of minimal polynomials of alpha^1 .. alpha^2t.
 	// Even powers share cosets with odd ones, so iterate odd i only.
 	gen := gf.Poly2FromUint32(1)
@@ -80,6 +111,7 @@ func New(m, t, dataBits int) (*Code, error) {
 			c.gen[i/64] |= 1 << (i % 64)
 		}
 	}
+	c.buildKernels()
 	return c, nil
 }
 
@@ -113,38 +145,27 @@ func flipBit(buf []byte, i int) {
 // The returned slice has ParityBytes() bytes, parity bit i stored
 // LSB-first.
 //
-// The computation is the software equivalent of the hardware LFSR: the
-// message polynomial times x^p reduced modulo the generator.
+// The computation is the software equivalent of the hardware LFSR,
+// run eight message bits per step through the 256-entry remainder
+// table (see kernels.go). EncodeBitSerial retains the one-bit-per-step
+// form as the differential reference.
 func (c *Code) Encode(data []byte) []byte {
+	return c.AppendParity(make([]byte, 0, c.ParityBytes()), data)
+}
+
+// EncodeBitSerial is the original one-bit-per-cycle LFSR encoder,
+// kept as the differential-test reference for the table-driven
+// Encode/AppendParity kernel. It computes the same parity ~50x
+// slower.
+func (c *Code) EncodeBitSerial(data []byte) []byte {
 	if len(data) != (c.k+7)/8 {
 		panic(fmt.Sprintf("bch: Encode data length %d bytes, want %d", len(data), (c.k+7)/8))
 	}
 	// rem is a p-bit shift register.
 	rem := make([]uint64, len(c.gen))
-	topWord := (c.p - 1) / 64
-	topBit := uint((c.p - 1) % 64)
 	// Feed message bits highest degree first (bit k-1 down to 0).
 	for i := c.k - 1; i >= 0; i-- {
-		feedback := dataBit(data, i) ^ int(rem[topWord]>>topBit)&1
-		// rem <<= 1 (within p bits)
-		var carry uint64
-		for w := 0; w <= topWord; w++ {
-			next := rem[w] >> 63
-			rem[w] = rem[w]<<1 | carry
-			carry = next
-		}
-		if feedback != 0 {
-			for w := range rem {
-				rem[w] ^= c.gen[w]
-			}
-		}
-		// Mask bits above p-1 plus the generator's top bit which the
-		// XOR just cleared implicitly (gen bit p aligns with shifted
-		// out feedback). Clear any residue above p-1:
-		rem[topWord] &= (uint64(1) << (topBit + 1)) - 1
-		for w := topWord + 1; w < len(rem); w++ {
-			rem[w] = 0
-		}
+		c.encodeStepBit(rem, dataBit(data, i))
 	}
 	out := make([]byte, c.ParityBytes())
 	for i := 0; i < c.p; i++ {
@@ -155,10 +176,49 @@ func (c *Code) Encode(data []byte) []byte {
 	return out
 }
 
+// encodeStepBit advances the LFSR remainder register by one message
+// bit: the shared inner step of the bit-serial encoder and the
+// remainder-table construction.
+func (c *Code) encodeStepBit(rem []uint64, bit int) {
+	topWord := (c.p - 1) / 64
+	topBit := uint((c.p - 1) % 64)
+	feedback := bit ^ int(rem[topWord]>>topBit)&1
+	// rem <<= 1 (within p bits)
+	var carry uint64
+	for w := 0; w <= topWord; w++ {
+		next := rem[w] >> 63
+		rem[w] = rem[w]<<1 | carry
+		carry = next
+	}
+	if feedback != 0 {
+		for w := range rem {
+			rem[w] ^= c.gen[w]
+		}
+	}
+	// Mask bits above p-1 plus the generator's top bit which the
+	// XOR just cleared implicitly (gen bit p aligns with shifted
+	// out feedback). Clear any residue above p-1:
+	rem[topWord] &= (uint64(1) << (topBit + 1)) - 1
+	for w := topWord + 1; w < len(rem); w++ {
+		rem[w] = 0
+	}
+}
+
 // Syndromes computes the 2t syndromes of the received word (data ++
 // parity). Index j of the result holds S_{j+1} = r(alpha^{j+1}). A
 // zero slice means the word is a valid codeword.
+//
+// Deprecated: Syndromes allocates its result on every call. Use
+// AppendSyndromes, which appends into a caller-owned buffer.
 func (c *Code) Syndromes(data, parity []byte) []uint16 {
+	return c.AppendSyndromes(nil, data, parity)
+}
+
+// SyndromesBitSerial is the original per-set-bit syndrome computation
+// — 2t field exponentiations per one bit of the received word — kept
+// as the differential-test reference for the Horner-form
+// AppendSyndromes kernel.
+func (c *Code) SyndromesBitSerial(data, parity []byte) []uint16 {
 	s := make([]uint16, 2*c.t)
 	f := c.field
 	n := f.N()
@@ -199,7 +259,13 @@ func (c *Code) Decode(data, parity []byte) (DecodeResult, error) {
 	if len(parity) != c.ParityBytes() {
 		panic(fmt.Sprintf("bch: Decode parity length %d bytes, want %d", len(parity), c.ParityBytes()))
 	}
-	synd := c.Syndromes(data, parity)
+	sc, _ := c.scratch.Get().(*decodeScratch)
+	if sc == nil {
+		sc = &decodeScratch{}
+	}
+	defer c.scratch.Put(sc)
+	sc.synd = c.AppendSyndromes(sc.synd[:0], data, parity)
+	synd := sc.synd
 	allZero := true
 	for _, v := range synd {
 		if v != 0 {
@@ -211,11 +277,11 @@ func (c *Code) Decode(data, parity []byte) (DecodeResult, error) {
 		return DecodeResult{}, nil
 	}
 
-	sigma, ok := c.berlekampMassey(synd)
+	sigma, ok := c.berlekampMassey(synd, sc)
 	if !ok {
 		return DecodeResult{Detected: true}, ErrUncorrectable
 	}
-	positions, ok := c.chienSearch(sigma)
+	positions, ok := c.chienSearch(sigma, sc)
 	if !ok {
 		return DecodeResult{Detected: true}, ErrUncorrectable
 	}
@@ -231,11 +297,16 @@ func (c *Code) Decode(data, parity []byte) (DecodeResult, error) {
 
 // berlekampMassey finds the error locator polynomial sigma from the
 // syndromes. It returns ok=false when the resulting locator degree
-// exceeds t or is inconsistent, both signs of decoder overload.
-func (c *Code) berlekampMassey(s []uint16) (gf.Poly, bool) {
+// exceeds t or is inconsistent, both signs of decoder overload. The
+// three working polynomials live in (and rotate through) the decode
+// scratch, so steady-state calls never touch the allocator; the
+// returned locator aliases scratch memory and is only valid until the
+// scratch returns to the pool.
+func (c *Code) berlekampMassey(s []uint16, sc *decodeScratch) (gf.Poly, bool) {
 	f := c.field
-	cur := gf.Poly{1} // C(x)
-	prev := gf.Poly{1}
+	cur := append(sc.bm0[:0], 1) // C(x)
+	prev := append(sc.bm1[:0], 1)
+	spare := sc.bm2[:0]
 	l := 0
 	mGap := 1
 	b := uint16(1)
@@ -252,22 +323,34 @@ func (c *Code) berlekampMassey(s []uint16) (gf.Poly, bool) {
 			continue
 		}
 		coef := f.Div(d, b)
-		// adjustment = coef * x^mGap * prev
-		adj := make(gf.Poly, mGap+len(prev))
-		for j, v := range prev {
-			adj[mGap+j] = f.Mul(coef, v)
+		// next = cur + coef * x^mGap * prev, built in the spare buffer.
+		width := mGap + len(prev)
+		if len(cur) > width {
+			width = len(cur)
 		}
-		next := gf.AddPoly(cur, adj)
+		next := spare[:0]
+		for j := 0; j < width; j++ {
+			next = append(next, 0)
+		}
+		for j, v := range prev {
+			next[mGap+j] = f.Mul(coef, v)
+		}
+		for j, v := range cur {
+			next[j] ^= v
+		}
 		if 2*l <= i {
+			spare = prev
 			prev = cur
 			l = i + 1 - l
 			b = d
 			mGap = 1
 		} else {
+			spare = cur
 			mGap++
 		}
 		cur = next
 	}
+	sc.bm0, sc.bm1, sc.bm2 = cur, prev, spare
 	cur = cur.Trim()
 	if cur.Deg() != l || l > c.t {
 		return nil, false
@@ -275,12 +358,14 @@ func (c *Code) berlekampMassey(s []uint16) (gf.Poly, bool) {
 	return cur, true
 }
 
-// chienSearch locates the error positions: every i in [0, n) with
-// sigma(alpha^{-i}) == 0 is an error at codeword coefficient x^i. It
-// returns ok=false when the number of roots inside the shortened word
-// does not match the locator degree (some roots fell in the shortened
-// prefix or in no position at all), indicating decoder overload.
-func (c *Code) chienSearch(sigma gf.Poly) ([]int, bool) {
+// chienSearchRef is the original one-position-per-step Chien search,
+// kept as the differential-test reference for the word-parallel
+// kernel in kernels.go: every i in [0, n) with sigma(alpha^{-i}) == 0
+// is an error at codeword coefficient x^i. It returns ok=false when
+// the number of roots inside the shortened word does not match the
+// locator degree (some roots fell in the shortened prefix or in no
+// position at all), indicating decoder overload.
+func (c *Code) chienSearchRef(sigma gf.Poly) ([]int, bool) {
 	f := c.field
 	deg := sigma.Deg()
 	// terms[d] tracks sigma_d * alpha^{-i*d}; start at i=0.

@@ -271,6 +271,9 @@ type Cache struct {
 	// section 5.2.1 heuristics. Negative until the first eviction.
 	marginalFreq float64
 	dead         bool
+	// pagesScratch backs appendValidPagesOf at the reclaim call
+	// sites that are safe to share it; see that method's contract.
+	pagesScratch []nand.Addr
 	// obs, when attached, receives decision events and samples the
 	// stats at snapshot time; nil means observability is off (the hot
 	// paths pay one untaken branch per decision site).

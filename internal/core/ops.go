@@ -224,7 +224,8 @@ func (c *Cache) Flush() int {
 	n := 0
 	r := c.regions[writeRegion]
 	flushBlock := func(b int) {
-		for _, a := range c.validPagesOf(b) {
+		c.pagesScratch = c.appendValidPagesOf(c.pagesScratch[:0], b)
+		for _, a := range c.pagesScratch {
 			st := c.fpst.At(a)
 			c.cfg.Backing.WritePage(st.LBA)
 			c.stats.FlushedPages++

@@ -126,7 +126,8 @@ func (c *Cache) retire(b int) {
 		return
 	}
 	c.eventRetire(b, m.valid)
-	for _, a := range c.validPagesOf(b) {
+	c.pagesScratch = c.appendValidPagesOf(c.pagesScratch[:0], b)
+	for _, a := range c.pagesScratch {
 		st := c.fpst.At(a)
 		if m.region == c.writeRegionIndex() && len(c.regions) == 2 {
 			c.stats.FlushedPages++
@@ -251,7 +252,8 @@ func (c *Cache) evictBlock(b int) {
 	m := &c.meta[b]
 	r := c.regions[m.region]
 	dirty := m.region == c.writeRegionIndex() && len(c.regions) == 2
-	for _, a := range c.validPagesOf(b) {
+	c.pagesScratch = c.appendValidPagesOf(c.pagesScratch[:0], b)
+	for _, a := range c.pagesScratch {
 		st := c.fpst.At(a)
 		c.noteMarginal(st)
 		if dirty {
@@ -504,7 +506,8 @@ func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
 	c.stats.GCRuns++
 	// A dead break above leaves unrelocated pages behind; drop (after
 	// flushing dirty data) so the erase invariant holds.
-	for _, a := range c.validPagesOf(best) {
+	c.pagesScratch = c.appendValidPagesOf(c.pagesScratch[:0], best)
+	for _, a := range c.pagesScratch {
 		if dirty {
 			c.stats.FlushedPages++
 			c.cfg.Backing.WritePage(c.fpst.At(a).LBA)

@@ -273,7 +273,17 @@ func (c *Cache) invalidate(addr nand.Addr) {
 
 // validPagesOf lists the valid page addresses of block b.
 func (c *Cache) validPagesOf(b int) []nand.Addr {
-	var out []nand.Addr
+	return c.appendValidPagesOf(nil, b)
+}
+
+// appendValidPagesOf appends block b's valid page addresses to dst and
+// returns the extended slice. Reclaim paths pass the cache-owned
+// pagesScratch buffer to stay off the allocator; a call site may only
+// do so when nothing in its iteration body can reach another
+// scratch-backed listing (retire and evictBlock both use the scratch,
+// so e.g. the GC relocation loop, whose allocProgram can retire a
+// block mid-flight, must not).
+func (c *Cache) appendValidPagesOf(dst []nand.Addr, b int) []nand.Addr {
 	for s := 0; s < nand.SlotsPerBlock; s++ {
 		subs := 1
 		if c.dev.Mode(nand.Addr{Block: b, Slot: s}) == wear.MLC {
@@ -282,9 +292,9 @@ func (c *Cache) validPagesOf(b int) []nand.Addr {
 		for sub := 0; sub < subs; sub++ {
 			a := nand.Addr{Block: b, Slot: s, Sub: sub}
 			if c.fpst.At(a).Valid {
-				out = append(out, a)
+				dst = append(dst, a)
 			}
 		}
 	}
-	return out
+	return dst
 }

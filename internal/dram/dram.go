@@ -5,11 +5,7 @@
 // breakdown consumes.
 package dram
 
-import (
-	"container/list"
-
-	"flashdc/internal/sim"
-)
+import "flashdc/internal/sim"
 
 // PageSize is the disk-cache page granularity in bytes, matching the
 // Flash page.
@@ -73,19 +69,34 @@ type Evicted struct {
 	Dirty bool
 }
 
+// none is the null node index of the intrusive recency list.
+const none = int32(-1)
+
 // Cache is the LRU primary disk cache. It tracks presence and dirty
 // state of 2KB disk pages; payloads are not stored (trace-driven
 // simulation). Not safe for concurrent use.
+//
+// Recency is an intrusive doubly-linked list threaded through a flat
+// node slab indexed by int32: one slab grows to the capacity once and
+// is recycled through a free list afterwards, so the steady-state
+// request path performs no allocation per insert or eviction (the
+// container/list predecessor allocated an element plus an entry per
+// insert and left the evicted page behind as garbage).
 type Cache struct {
 	capacity int
 	policy   Policy
-	lru      *list.List // front = most recent; values are *entry
-	index    map[int64]*list.Element
+	nodes    []node
+	free     []int32 // recycled slab slots
+	head     int32   // most recently used, none when empty
+	tail     int32   // least recently used, none when empty
+	count    int
+	index    map[int64]int32
 	stats    Stats
 }
 
-type entry struct {
+type node struct {
 	lba        int64
+	prev, next int32
 	dirty      bool
 	referenced bool // second-chance bit
 }
@@ -106,16 +117,55 @@ func NewCacheWithPolicy(capacityBytes int64, p Policy) *Cache {
 	return &Cache{
 		capacity: pages,
 		policy:   p,
-		lru:      list.New(),
-		index:    make(map[int64]*list.Element, pages),
+		head:     none,
+		tail:     none,
+		index:    make(map[int64]int32, pages),
 	}
+}
+
+// unlink detaches node i from the recency list.
+func (c *Cache) unlink(i int32) {
+	nd := &c.nodes[i]
+	if nd.prev != none {
+		c.nodes[nd.prev].next = nd.next
+	} else {
+		c.head = nd.next
+	}
+	if nd.next != none {
+		c.nodes[nd.next].prev = nd.prev
+	} else {
+		c.tail = nd.prev
+	}
+}
+
+// pushFront makes node i the most recently used.
+func (c *Cache) pushFront(i int32) {
+	nd := &c.nodes[i]
+	nd.prev = none
+	nd.next = c.head
+	if c.head != none {
+		c.nodes[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == none {
+		c.tail = i
+	}
+}
+
+// moveToFront refreshes node i to most recently used.
+func (c *Cache) moveToFront(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
 }
 
 // CapacityPages returns the cache size in pages.
 func (c *Cache) CapacityPages() int { return c.capacity }
 
 // Len returns the number of resident pages.
-func (c *Cache) Len() int { return c.lru.Len() }
+func (c *Cache) Len() int { return c.count }
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -124,8 +174,8 @@ func (c *Cache) Stats() Stats { return c.stats }
 // the DRAM access itself; on a miss latency is zero (the caller pays
 // the lower levels).
 func (c *Cache) Read(lba int64) (hit bool, latency sim.Duration) {
-	if el, ok := c.index[lba]; ok {
-		c.touch(el)
+	if i, ok := c.index[lba]; ok {
+		c.touch(i)
 		c.stats.Reads++
 		c.stats.Hits++
 		return true, AccessLatency
@@ -135,52 +185,54 @@ func (c *Cache) Read(lba int64) (hit bool, latency sim.Duration) {
 }
 
 // touch refreshes a resident page per the active policy.
-func (c *Cache) touch(el *list.Element) {
+func (c *Cache) touch(i int32) {
 	switch c.policy {
 	case LRU:
-		c.lru.MoveToFront(el)
+		c.moveToFront(i)
 	case SecondChance:
-		el.Value.(*entry).referenced = true
+		c.nodes[i].referenced = true
 	}
 }
 
-// Write updates or inserts lba as dirty, refreshing recency. The
-// returned eviction, if any, must be flushed by the caller when dirty.
-func (c *Cache) Write(lba int64) (sim.Duration, *Evicted) {
+// Write updates or inserts lba as dirty, refreshing recency. When
+// evicted is true the returned page was pushed out to make room and
+// must be flushed by the caller if dirty.
+func (c *Cache) Write(lba int64) (lat sim.Duration, ev Evicted, evicted bool) {
 	c.stats.Writes++
-	if el, ok := c.index[lba]; ok {
-		el.Value.(*entry).dirty = true
-		c.touch(el)
-		return AccessLatency, nil
+	if i, ok := c.index[lba]; ok {
+		c.nodes[i].dirty = true
+		c.touch(i)
+		return AccessLatency, Evicted{}, false
 	}
-	ev := c.insert(lba, true)
-	return AccessLatency, ev
+	ev, evicted = c.insert(lba, true)
+	return AccessLatency, ev, evicted
 }
 
 // Fill inserts a clean page fetched from a lower level (Flash or
-// disk). The returned eviction, if any, must be flushed when dirty.
-func (c *Cache) Fill(lba int64) (sim.Duration, *Evicted) {
+// disk). When evicted is true the returned page must be flushed by
+// the caller if dirty.
+func (c *Cache) Fill(lba int64) (lat sim.Duration, ev Evicted, evicted bool) {
 	c.stats.Writes++ // a fill writes the page into DRAM
-	if el, ok := c.index[lba]; ok {
-		c.touch(el)
-		return AccessLatency, nil
+	if i, ok := c.index[lba]; ok {
+		c.touch(i)
+		return AccessLatency, Evicted{}, false
 	}
-	ev := c.insert(lba, false)
-	return AccessLatency, ev
+	ev, evicted = c.insert(lba, false)
+	return AccessLatency, ev, evicted
 }
 
 // Dirty reports whether lba is resident and dirty.
 func (c *Cache) Dirty(lba int64) bool {
-	if el, ok := c.index[lba]; ok {
-		return el.Value.(*entry).dirty
+	if i, ok := c.index[lba]; ok {
+		return c.nodes[i].dirty
 	}
 	return false
 }
 
 // Clean marks a resident page clean (after a write-back).
 func (c *Cache) Clean(lba int64) {
-	if el, ok := c.index[lba]; ok {
-		el.Value.(*entry).dirty = false
+	if i, ok := c.index[lba]; ok {
+		c.nodes[i].dirty = false
 	}
 }
 
@@ -188,9 +240,11 @@ func (c *Cache) Clean(lba int64) {
 // state without a write-back. The caller takes responsibility for the
 // data living elsewhere (tier invalidation).
 func (c *Cache) Remove(lba int64) {
-	if el, ok := c.index[lba]; ok {
+	if i, ok := c.index[lba]; ok {
 		delete(c.index, lba)
-		c.lru.Remove(el)
+		c.unlink(i)
+		c.free = append(c.free, i)
+		c.count--
 	}
 }
 
@@ -198,9 +252,9 @@ func (c *Cache) Remove(lba int64) {
 // Used to flush the PDC at end of simulation.
 func (c *Cache) DirtyPages() []int64 {
 	var out []int64
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		if e := el.Value.(*entry); e.dirty {
-			out = append(out, e.lba)
+	for i := c.head; i != none; i = c.nodes[i].next {
+		if nd := &c.nodes[i]; nd.dirty {
+			out = append(out, nd.lba)
 		}
 	}
 	return out
@@ -211,44 +265,55 @@ func (c *Cache) DirtyPages() []int64 {
 // recency or counters — it is the read-only enumeration surface
 // differential checkers diff against a reference model.
 func (c *Cache) Range(fn func(lba int64, dirty bool) bool) {
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*entry)
-		if !fn(e.lba, e.dirty) {
+	for i := c.head; i != none; i = c.nodes[i].next {
+		nd := &c.nodes[i]
+		if !fn(nd.lba, nd.dirty) {
 			return
 		}
 	}
 }
 
-func (c *Cache) insert(lba int64, dirty bool) *Evicted {
-	var ev *Evicted
-	if c.lru.Len() >= c.capacity {
-		ev = c.evictOne()
+func (c *Cache) insert(lba int64, dirty bool) (ev Evicted, evicted bool) {
+	if c.count >= c.capacity {
+		ev, evicted = c.evictOne(), true
 	}
-	c.index[lba] = c.lru.PushFront(&entry{lba: lba, dirty: dirty})
-	return ev
+	var i int32
+	if nfree := len(c.free); nfree > 0 {
+		i = c.free[nfree-1]
+		c.free = c.free[:nfree-1]
+	} else {
+		c.nodes = append(c.nodes, node{})
+		i = int32(len(c.nodes) - 1)
+	}
+	c.nodes[i] = node{lba: lba, dirty: dirty, prev: none, next: none}
+	c.pushFront(i)
+	c.index[lba] = i
+	c.count++
+	return ev, evicted
 }
 
 // evictOne removes a victim per the active policy.
-func (c *Cache) evictOne() *Evicted {
+func (c *Cache) evictOne() Evicted {
 	switch c.policy {
 	case SecondChance:
 		// Sweep the clock hand from the back, granting one reprieve
 		// to referenced pages.
 		for {
-			back := c.lru.Back()
-			e := back.Value.(*entry)
-			if !e.referenced {
+			nd := &c.nodes[c.tail]
+			if !nd.referenced {
 				break
 			}
-			e.referenced = false
-			c.lru.MoveToFront(back)
+			nd.referenced = false
+			c.moveToFront(c.tail)
 		}
 	}
-	back := c.lru.Back()
-	e := back.Value.(*entry)
-	ev := &Evicted{LBA: e.lba, Dirty: e.dirty}
-	delete(c.index, e.lba)
-	c.lru.Remove(back)
+	i := c.tail
+	nd := &c.nodes[i]
+	ev := Evicted{LBA: nd.lba, Dirty: nd.dirty}
+	delete(c.index, nd.lba)
+	c.unlink(i)
+	c.free = append(c.free, i)
+	c.count--
 	return ev
 }
 

@@ -21,8 +21,8 @@ func TestReadMissThenFill(t *testing.T) {
 	if hit, lat := c.Read(10); hit || lat != 0 {
 		t.Fatal("cold read hit")
 	}
-	if lat, ev := c.Fill(10); lat != AccessLatency || ev != nil {
-		t.Fatalf("fill: %v %v", lat, ev)
+	if lat, _, evicted := c.Fill(10); lat != AccessLatency || evicted {
+		t.Fatalf("fill: %v evicted=%v", lat, evicted)
 	}
 	if hit, lat := c.Read(10); !hit || lat != AccessLatency {
 		t.Fatal("filled page missed")
@@ -55,9 +55,9 @@ func TestLRUEvictionOrder(t *testing.T) {
 	c.Fill(2)
 	c.Fill(3)
 	c.Read(1) // 1 becomes MRU; 2 is LRU
-	_, ev := c.Fill(4)
-	if ev == nil || ev.LBA != 2 {
-		t.Fatalf("evicted %+v, want LBA 2", ev)
+	_, ev, evicted := c.Fill(4)
+	if !evicted || ev.LBA != 2 {
+		t.Fatalf("evicted %v %+v, want LBA 2", evicted, ev)
 	}
 	if ev.Dirty {
 		t.Fatal("clean page evicted dirty")
@@ -68,9 +68,9 @@ func TestEvictionReportsDirty(t *testing.T) {
 	c := NewCache(2 * PageSize)
 	c.Write(1)
 	c.Fill(2)
-	_, ev := c.Fill(3)
-	if ev == nil || ev.LBA != 1 || !ev.Dirty {
-		t.Fatalf("evicted %+v, want dirty LBA 1", ev)
+	_, ev, evicted := c.Fill(3)
+	if !evicted || ev.LBA != 1 || !ev.Dirty {
+		t.Fatalf("evicted %v %+v, want dirty LBA 1", evicted, ev)
 	}
 }
 
@@ -138,18 +138,18 @@ func TestFillExistingRefreshesNotEvicts(t *testing.T) {
 	c := NewCache(2 * PageSize)
 	c.Fill(1)
 	c.Fill(2)
-	if _, ev := c.Fill(1); ev != nil {
+	if _, _, evicted := c.Fill(1); evicted {
 		t.Fatal("re-fill evicted")
 	}
 	// 2 is now LRU.
-	if _, ev := c.Fill(3); ev == nil || ev.LBA != 2 {
+	if _, ev, evicted := c.Fill(3); !evicted || ev.LBA != 2 {
 		t.Fatal("refresh on re-fill not applied")
 	}
 }
 
 func TestWriteLatencyIsDRAMAccess(t *testing.T) {
 	c := NewCache(2 * PageSize)
-	lat, _ := c.Write(9)
+	lat, _, _ := c.Write(9)
 	if lat != AccessLatency {
 		t.Fatalf("write latency %v", lat)
 	}
@@ -166,9 +166,9 @@ func TestSecondChanceGrantsReprieve(t *testing.T) {
 	// Reference page 1 (back of the insertion order is 1).
 	c.Read(1)
 	// Insert 4: the sweep must skip referenced 1 and evict 2.
-	_, ev := c.Fill(4)
-	if ev == nil || ev.LBA != 2 {
-		t.Fatalf("second chance evicted %+v, want LBA 2", ev)
+	_, ev, evicted := c.Fill(4)
+	if !evicted || ev.LBA != 2 {
+		t.Fatalf("second chance evicted %v %+v, want LBA 2", evicted, ev)
 	}
 	// Page 1 survived its reprieve.
 	if hit, _ := c.Read(1); !hit {
@@ -183,8 +183,8 @@ func TestSecondChanceEventuallyEvictsEverything(t *testing.T) {
 	c.Read(1)
 	c.Read(2)
 	// Both referenced: the sweep clears bits and still evicts one.
-	_, ev := c.Fill(3)
-	if ev == nil {
+	_, _, evicted := c.Fill(3)
+	if !evicted {
 		t.Fatal("no eviction despite full cache")
 	}
 	if c.Len() != 2 {

@@ -9,7 +9,7 @@ package ecc
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"flashdc/internal/bch"
 	"flashdc/internal/crcx"
@@ -59,9 +59,18 @@ var (
 
 // Codec encodes and decodes 2KB pages at any supported strength. Codes
 // are built lazily and cached; a Codec is safe for concurrent use.
+//
+// The cache is lock-free: each strength has its own atomic slot, so
+// callers at already-built strengths never serialize behind a
+// concurrent first-time construction at another strength (the old
+// single-mutex design made every Encode/Decode contend on one lock).
+// Two goroutines racing to build the same strength may both construct
+// it; one result wins the CompareAndSwap and the loser is discarded —
+// codes are immutable and all constructions are identical, and the
+// underlying GF(2^15) field is shared process-wide (gf.Cached via
+// bch.New), so the duplicated work is bounded and rare.
 type Codec struct {
-	mu    sync.Mutex
-	codes [MaxStrength + 1]*bch.Code
+	codes [MaxStrength + 1]atomic.Pointer[bch.Code]
 }
 
 // NewCodec returns an empty codec; codes materialise on first use.
@@ -71,16 +80,18 @@ func (c *Codec) code(s Strength) *bch.Code {
 	if err := s.Validate(); err != nil {
 		panic(err)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.codes[s] == nil {
-		code, err := bch.New(fieldDegree, int(s), PageSize*8)
-		if err != nil {
-			panic(fmt.Sprintf("ecc: building t=%d page code: %v", s, err))
-		}
-		c.codes[s] = code
+	slot := &c.codes[s]
+	if code := slot.Load(); code != nil {
+		return code
 	}
-	return c.codes[s]
+	code, err := bch.New(fieldDegree, int(s), PageSize*8)
+	if err != nil {
+		panic(fmt.Sprintf("ecc: building t=%d page code: %v", s, err))
+	}
+	if !slot.CompareAndSwap(nil, code) {
+		return slot.Load()
+	}
+	return code
 }
 
 // SpareBytes returns the spare-area bytes consumed at strength s:
@@ -98,7 +109,7 @@ func (c *Codec) Encode(s Strength, data []byte) []byte {
 	}
 	code := c.code(s)
 	spare := crcx.Append(make([]byte, 0, crcx.Size+code.ParityBytes()), crcx.Checksum(data))
-	spare = append(spare, code.Encode(data)...)
+	spare = code.AppendParity(spare, data)
 	if len(spare) > SpareSize {
 		panic(fmt.Sprintf("ecc: t=%d spare image %dB exceeds %dB spare area", s, len(spare), SpareSize))
 	}

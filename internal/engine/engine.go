@@ -219,6 +219,15 @@ func (e *Engine) RunStream(next func() (trace.Request, bool), n int) int {
 
 	batch := e.batchSize()
 	pending := make([][]trace.Request, len(e.shards))
+	// The routing closure is hoisted out of the request loop so the
+	// steady-state router performs no per-request allocations.
+	route := func(s int, run trace.Request) {
+		pending[s] = append(pending[s], run)
+		if len(pending[s]) >= batch {
+			e.shards[s].queue <- pending[s]
+			pending[s] = nil
+		}
+	}
 	consumed := 0
 	for consumed < n {
 		req, ok := next()
@@ -226,13 +235,7 @@ func (e *Engine) RunStream(next func() (trace.Request, bool), n int) int {
 			break
 		}
 		consumed++
-		trace.SplitRuns(req, len(e.shards), func(s int, run trace.Request) {
-			pending[s] = append(pending[s], run)
-			if len(pending[s]) >= batch {
-				e.shards[s].queue <- pending[s]
-				pending[s] = nil
-			}
-		})
+		trace.SplitRuns(req, len(e.shards), route)
 	}
 	for s, p := range pending {
 		if len(p) > 0 {

@@ -5,7 +5,10 @@
 // controller described in section 4.1 of the paper.
 package gf
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // primitivePoly[m] is a primitive polynomial of degree m over GF(2),
 // encoded with bit i representing x^i. Index 0 and 1 are unused.
@@ -38,6 +41,19 @@ type Field struct {
 	n   int // 2^m - 1, the multiplicative group order
 	exp []uint16
 	log []int
+	// log16 duplicates log for nonzero elements in 16 bits: a quarter
+	// of the cache footprint for table-driven kernels whose inner
+	// loops are load-latency-bound. log16[0] is 0 and must never be
+	// used (kernels skip zero explicitly, like Mul).
+	log16 []uint16
+	// expPad and logPad are exp and log16 padded to exactly 2^16
+	// entries so kernels can index them with a uint16 and the compiler
+	// can prove every access in bounds. expPad[i] = alpha^(i mod n) for
+	// all i; logPad entries above n are zero and must never be read.
+	// Only the first 2n (resp. n+1) entries are ever touched on hot
+	// paths, so the padding costs address space, not cache.
+	expPad *[1 << 16]uint16
+	logPad *[1 << 16]uint16
 }
 
 // NewField constructs GF(2^m). It panics if m is outside [2, MaxM];
@@ -53,19 +69,49 @@ func NewField(m int) *Field {
 		exp: make([]uint16, 2*n), // doubled so Mul avoids a mod
 		log: make([]int, n+1),
 	}
+	f.log16 = make([]uint16, n+1)
 	poly := primitivePoly[m]
 	x := uint32(1)
 	for i := 0; i < n; i++ {
 		f.exp[i] = uint16(x)
 		f.exp[i+n] = uint16(x)
 		f.log[x] = i
+		f.log16[x] = uint16(i)
 		x <<= 1
 		if x&(1<<m) != 0 {
 			x ^= poly
 		}
 	}
 	f.log[0] = -1 // sentinel; never used on the fast path
+	f.expPad = new([1 << 16]uint16)
+	for i := range f.expPad {
+		f.expPad[i] = f.exp[i%n]
+	}
+	f.logPad = new([1 << 16]uint16)
+	copy(f.logPad[1:], f.log16[1:])
 	return f
+}
+
+// cached holds the process-wide shared Field per degree. A Field is
+// immutable after construction, so every user of GF(2^m) can share one
+// instance — rebuilding the 2^16-entry exp/log tables per BCH code (one
+// per ECC strength) wastes both construction time and cache footprint.
+var cached [MaxM + 1]struct {
+	once  sync.Once
+	field *Field
+}
+
+// Cached returns the shared GF(2^m) instance, constructing it exactly
+// once per process. Like NewField it panics when m is outside [2,
+// MaxM]. All BCH codes built through bch.New share fields through this
+// cache.
+func Cached(m int) *Field {
+	if m < 2 || m > MaxM {
+		panic(fmt.Sprintf("gf: unsupported field degree %d", m))
+	}
+	c := &cached[m]
+	c.once.Do(func() { c.field = NewField(m) })
+	return c.field
 }
 
 // M returns the field degree m.
@@ -136,6 +182,36 @@ func (f *Field) Pow(a uint16, k int) uint16 {
 	}
 	return f.exp[(f.log[a]*k)%f.n]
 }
+
+// ExpTable exposes the live exponent table: ExpTable()[i] == alpha^i
+// for 0 <= i < 2n (the table is doubled so callers can index
+// log(a)+log(b) without a modular reduction). It is shared, not a
+// copy — callers must treat it as read-only. Intended for table-driven
+// kernels (bch) whose inner loops cannot afford a method call per
+// lookup.
+func (f *Field) ExpTable() []uint16 { return f.exp }
+
+// LogTable exposes the live logarithm table: LogTable()[a] is the
+// discrete log of a for 1 <= a <= n, with LogTable()[0] == -1. Shared
+// and read-only, like ExpTable.
+func (f *Field) LogTable() []int { return f.log }
+
+// Log16Table is LogTable in 16 bits — a quarter of the cache
+// footprint for load-latency-bound kernels. Log16Table()[0] is 0, not
+// a usable sentinel: callers must branch around zero inputs
+// themselves. Shared and read-only, like ExpTable.
+func (f *Field) Log16Table() []uint16 { return f.log16 }
+
+// ExpPadded returns the exponent table padded to exactly 2^16 entries
+// (ExpPadded()[i] == alpha^(i mod n)). The fixed array type lets
+// kernels index with a uint16 and have every bounds check eliminated
+// at compile time. Shared and read-only.
+func (f *Field) ExpPadded() *[1 << 16]uint16 { return f.expPad }
+
+// LogPadded returns Log16Table padded to exactly 2^16 entries, with
+// the same bounds-check-elimination contract as ExpPadded. Entries at
+// 0 and above n are zero and must never be used.
+func (f *Field) LogPadded() *[1 << 16]uint16 { return f.logPad }
 
 // MinPolynomial returns the minimal polynomial over GF(2) of alpha^i,
 // encoded as a GF(2) polynomial (see Poly2). Minimal polynomials are

@@ -139,6 +139,12 @@ type System struct {
 	// the per-request cost of an enabled observer is one interval
 	// check in Handle.
 	obs *obs.Observer
+	// tierNames holds the precomputed per-tier metric names and
+	// latProfile the reusable latency-rebucketing scratch, so collect
+	// builds no strings and no bucket slices per snapshot (Sample
+	// clones what it keeps).
+	tierNames  []tierMetricNames
+	latProfile obs.HistogramSnapshot
 	// lastRead and streak detect sequential read runs for readahead.
 	lastRead int64
 	streak   int
@@ -211,14 +217,20 @@ func (s *System) collect(smp *obs.Sample) {
 	smp.Counter("hier_prefetched_total", st.Prefetched)
 	smp.Counter("hier_latency_ns_total", int64(st.TotalLatency))
 	smp.Counter("disk_busy_ns_total", int64(s.disk.Stats().BusyTime))
-	for _, t := range s.tiers {
+	for i, t := range s.tiers {
 		ts := t.Stats()
-		smp.Counter("tier_"+ts.Name+"_reads_total", ts.Reads)
-		smp.Counter("tier_"+ts.Name+"_hits_total", ts.Hits)
-		smp.Counter("tier_"+ts.Name+"_misses_total", ts.Misses)
-		smp.Counter("tier_"+ts.Name+"_writes_total", ts.Writes)
+		names := &s.tierNames[i]
+		smp.Counter(names.reads, ts.Reads)
+		smp.Counter(names.hits, ts.Hits)
+		smp.Counter(names.misses, ts.Misses)
+		smp.Counter(names.writes, ts.Writes)
 	}
 	smp.Histogram("hier_page_latency_ns", s.latencyProfile())
+}
+
+// tierMetricNames caches one tier's observability counter names.
+type tierMetricNames struct {
+	reads, hits, misses, writes string
 }
 
 // latencyProfile re-buckets the per-page latency histogram the system
@@ -228,11 +240,16 @@ func (s *System) collect(smp *obs.Sample) {
 // observability bucket its floor falls in (bound resolution is far
 // coarser than the ~9% source buckets, so the skew is negligible).
 func (s *System) latencyProfile() obs.HistogramSnapshot {
-	bounds := obs.LatencyBounds()
-	hs := obs.HistogramSnapshot{
-		Bounds:  bounds,
-		Buckets: make([]int64, len(bounds)+1),
+	hs := &s.latProfile
+	if hs.Bounds == nil {
+		hs.Bounds = obs.LatencyBounds()
+		hs.Buckets = make([]int64, len(hs.Bounds)+1)
 	}
+	for i := range hs.Buckets {
+		hs.Buckets[i] = 0
+	}
+	hs.Count = 0
+	bounds := hs.Bounds
 	s.latencies.Each(func(floor sim.Duration, count uint64) {
 		i := 0
 		for i < len(bounds) && int64(floor) > bounds[i] {
@@ -242,7 +259,7 @@ func (s *System) latencyProfile() obs.HistogramSnapshot {
 		hs.Count += int64(count)
 	})
 	hs.Sum = int64(s.latencies.Sum())
-	return hs
+	return *hs
 }
 
 // compose builds the tier chain from the assembled components and
@@ -259,6 +276,16 @@ func (s *System) compose() {
 	}
 	s.diskIdx = len(s.tiers) - 1
 	top.lower = s.tiers[1]
+	s.tierNames = make([]tierMetricNames, len(s.tiers))
+	for i, t := range s.tiers {
+		name := t.Name()
+		s.tierNames[i] = tierMetricNames{
+			reads:  "tier_" + name + "_reads_total",
+			hits:   "tier_" + name + "_hits_total",
+			misses: "tier_" + name + "_misses_total",
+			writes: "tier_" + name + "_writes_total",
+		}
+	}
 }
 
 // Tiers returns the composed chain, fastest tier first.
@@ -314,10 +341,21 @@ func (s *System) Now() sim.Time { return s.clock.Now() }
 // health should surface it, callers that only simulate may ignore it.
 func (s *System) Handle(req trace.Request) (sim.Duration, error) {
 	s.stats.Requests++
+	// The page walk is inlined (rather than routed through
+	// trace.Request.Expand's callback) to keep the per-request path
+	// closure-free: Handle runs once per simulated request, and an
+	// escaping closure here was a measurable share of the replay
+	// engine's steady-state allocations.
+	n := req.Pages
+	if n < 1 {
+		n = 1
+	}
+	isRead := req.Op == trace.OpRead
 	var total sim.Duration
-	req.Expand(func(lba int64) {
+	for i := 0; i < n; i++ {
+		lba := req.LBA + int64(i)
 		var lat sim.Duration
-		if req.Op == trace.OpRead {
+		if isRead {
 			s.stats.ReadPages++
 			lat = s.readPage(lba)
 		} else {
@@ -326,7 +364,7 @@ func (s *System) Handle(req trace.Request) (sim.Duration, error) {
 		}
 		s.latencies.Observe(lat)
 		total += lat
-	})
+	}
 	s.clock.Advance(total)
 	s.stats.TotalLatency += total
 	s.obs.MaybeSnapshot(s.clock.Now())

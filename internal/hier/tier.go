@@ -91,21 +91,25 @@ func (t *dramTier) ReadPage(lba int64) (bool, sim.Duration) {
 
 func (t *dramTier) WritePage(lba int64) sim.Duration {
 	t.st.Writes++
-	lat, ev := t.c.Write(lba)
-	t.writeback(ev)
+	lat, ev, evicted := t.c.Write(lba)
+	if evicted {
+		t.writeback(ev)
+	}
 	return lat
 }
 
 func (t *dramTier) Fill(lba int64) sim.Duration {
-	lat, ev := t.c.Fill(lba)
-	t.writeback(ev)
+	lat, ev, evicted := t.c.Fill(lba)
+	if evicted {
+		t.writeback(ev)
+	}
 	return lat
 }
 
 // writeback pushes an evicted dirty page down one level (background;
 // not added to foreground latency).
-func (t *dramTier) writeback(ev *dram.Evicted) {
-	if ev == nil || !ev.Dirty {
+func (t *dramTier) writeback(ev dram.Evicted) {
+	if !ev.Dirty {
 		return
 	}
 	t.lower.WritePage(ev.LBA)

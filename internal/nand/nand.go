@@ -150,7 +150,7 @@ type slotState struct {
 	mode       wear.Mode
 	programmed [2]bool
 	data       [2]uint64
-	wear       *wear.PageWear
+	wear       wear.PageWear
 	// payload holds real page contents when ProgramPage is used;
 	// nil for token-only (trace-driven) pages.
 	payload *[2]PageBuf
@@ -228,7 +228,7 @@ func New(cfg Config) *Device {
 		for s := range slots {
 			slots[s] = slotState{
 				mode: cfg.InitialMode,
-				wear: d.model.NewPageWear(rng, cfg.SigmaSpatial),
+				wear: d.model.SamplePageWear(rng, cfg.SigmaSpatial),
 			}
 		}
 		d.blocks[b].slots = slots

@@ -51,15 +51,50 @@ func SplitRuns(req Request, shards int, fn func(shard int, run Request)) {
 	fn(runShard, Request{Op: req.Op, LBA: runStart, Pages: runLen})
 }
 
+// AppendByShard appends the pieces of req owned by shard to dst, as
+// maximal runs of consecutive pages in page order, and returns the
+// extended slice. It is the allocation-free form of SplitByShard:
+// the run walk is inlined rather than routed through a callback, so a
+// caller reusing dst across requests stays off the allocator entirely
+// on the simulation hot path.
+func AppendByShard(dst []Request, req Request, shard, shards int) []Request {
+	if shards <= 1 {
+		if shard == 0 {
+			dst = append(dst, req)
+		}
+		return dst
+	}
+	n := req.Pages
+	if n < 1 {
+		n = 1
+	}
+	runStart := req.LBA
+	runShard := ShardOf(req.LBA, shards)
+	runLen := 1
+	for i := 1; i < n; i++ {
+		lba := req.LBA + int64(i)
+		s := ShardOf(lba, shards)
+		if s == runShard {
+			runLen++
+			continue
+		}
+		if runShard == shard {
+			dst = append(dst, Request{Op: req.Op, LBA: runStart, Pages: runLen})
+		}
+		runStart, runShard, runLen = lba, s, 1
+	}
+	if runShard == shard {
+		dst = append(dst, Request{Op: req.Op, LBA: runStart, Pages: runLen})
+	}
+	return dst
+}
+
 // SplitByShard returns the pieces of req owned by shard, as maximal
 // runs of consecutive pages in page order; nil when the request
 // touches none of the shard's pages.
+//
+// Deprecated: SplitByShard allocates its result on every call. Use
+// AppendByShard, which appends into a caller-owned buffer.
 func SplitByShard(req Request, shard, shards int) []Request {
-	var out []Request
-	SplitRuns(req, shards, func(s int, run Request) {
-		if s == shard {
-			out = append(out, run)
-		}
-	})
-	return out
+	return AppendByShard(nil, req, shard, shards)
 }

@@ -165,6 +165,15 @@ type PageWear struct {
 // variation (the ClusterPenalty formulation), keeping the stochastic
 // and analytic views of Figure 6(b) consistent.
 func (md *Model) NewPageWear(rng *sim.RNG, sigmaSpatial float64) *PageWear {
+	w := md.SamplePageWear(rng, sigmaSpatial)
+	return &w
+}
+
+// SamplePageWear is the value form of NewPageWear: callers embedding
+// the trajectory directly in their own structures (one per page slot)
+// avoid a heap allocation per page. The two forms draw identically
+// from the RNG.
+func (md *Model) SamplePageWear(rng *sim.RNG, sigmaSpatial float64) PageWear {
 	scale := sigmaSpatial * md.ClusterPenalty * md.SigmaDecades / 3
 	offset := rng.NormFloat64() * scale
 	// Clamp to 3 sigma so a single pathological sample cannot zero
@@ -176,7 +185,7 @@ func (md *Model) NewPageWear(rng *sim.RNG, sigmaSpatial float64) *PageWear {
 	} else if offset < -limit {
 		offset = -limit
 	}
-	return &PageWear{model: md, muOffset: offset}
+	return PageWear{model: md, muOffset: offset}
 }
 
 // FailedBits returns the number of stuck cells in this page after

@@ -25,8 +25,11 @@ type Partitioned struct {
 	shard, shards int
 	// consumed counts global requests drawn from g so far.
 	consumed int
-	// pending holds this shard's runs of the last global request.
+	// pending holds this shard's runs of the last global request;
+	// next indexes the first undelivered run. The buffer is reused
+	// across refills, so the steady-state stream never allocates.
 	pending []trace.Request
+	next    int
 	// stats optionally accumulates the full global stream.
 	stats *trace.Stats
 }
@@ -67,9 +70,9 @@ func (p *Partitioned) TrackStats(st *trace.Stats) { p.stats = st }
 // exhausted. Calling it again with a larger limit resumes the stream.
 func (p *Partitioned) NextUntil(limit int) (trace.Request, bool) {
 	for {
-		if len(p.pending) > 0 {
-			r := p.pending[0]
-			p.pending = p.pending[1:]
+		if p.next < len(p.pending) {
+			r := p.pending[p.next]
+			p.next++
 			return r, true
 		}
 		if p.consumed >= limit {
@@ -80,6 +83,7 @@ func (p *Partitioned) NextUntil(limit int) (trace.Request, bool) {
 		if p.stats != nil {
 			p.stats.Add(req)
 		}
-		p.pending = trace.SplitByShard(req, p.shard, p.shards)
+		p.pending = trace.AppendByShard(p.pending[:0], req, p.shard, p.shards)
+		p.next = 0
 	}
 }
