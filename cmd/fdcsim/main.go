@@ -58,6 +58,7 @@ import (
 	"flashdc/internal/sim"
 	"flashdc/internal/tables"
 	"flashdc/internal/trace"
+	"flashdc/internal/wear"
 	"flashdc/internal/workload"
 )
 
@@ -175,6 +176,12 @@ func main() {
 		shards       = flag.Int("shards", 1, "hash-partition the LBA space across N independent shards")
 		workers      = flag.Int("workers", 0, "concurrent shard replay goroutines (0 = one per shard)")
 
+		retentionAccel = flag.Float64("retention-accel", 0, "retention-loss acceleration factor over the 10-year spec dwell (0 disables)")
+		disturbReads   = flag.Float64("disturb-reads", 0, "sibling reads per correctable read-disturb bit error (0 disables)")
+		refreshThresh  = flag.Float64("refresh-threshold", 0, "fraction of ECC capability at which the scrubber refreshes a page (0 = 1.0)")
+		checkpointOut  = flag.String("checkpoint-out", "", "write a resumable campaign checkpoint to this file at end of run")
+		checkpointIn   = flag.String("checkpoint-in", "", "resume a campaign from this checkpoint (-requests adds to it)")
+
 		metricsOut  = flag.String("metrics-out", "", "write cumulative metric snapshots as JSONL to this file")
 		metricsIvl  = flag.Duration("metrics-interval", 0, "simulated time between snapshots (0 = final snapshot only)")
 		traceEvents = flag.String("trace-events", "", "write decision events as JSONL to this file")
@@ -183,16 +190,60 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate the whole flag set up front: every rejection below is a
+	// usage error reported before any simulation state is built, so a
+	// mistyped multi-hour campaign fails in milliseconds.
 	dram, err := parseSize(*dramSize)
-	die(err)
+	if err != nil {
+		usageErr("-dram: %v", err)
+	}
 	flash, err := parseSize(*flashSize)
-	die(err)
+	if err != nil {
+		usageErr("-flash: %v", err)
+	}
+	switch {
+	case *requests < 0:
+		usageErr("-requests %d is negative", *requests)
+	case *scrubEvery < 0:
+		usageErr("-scrub %d: the scrub interval cannot be negative", *scrubEvery)
+	case *shards < 1:
+		usageErr("-shards %d: need at least one shard", *shards)
+	case *workers < 0:
+		usageErr("-workers %d is negative", *workers)
+	case *wearAccel < 0:
+		usageErr("-wear-accel %g is negative", *wearAccel)
+	case *retentionAccel < 0:
+		usageErr("-retention-accel %g is negative", *retentionAccel)
+	case *disturbReads < 0:
+		usageErr("-disturb-reads %g is negative", *disturbReads)
+	case *refreshThresh < 0 || *refreshThresh > 1:
+		usageErr("-refresh-threshold %g outside (0,1] (0 means 1.0)", *refreshThresh)
+	case *traceFile == "" && !(*scale > 0):
+		usageErr("-scale %g: generated workloads need a positive footprint scale", *scale)
+	case flash == 0 && (*retentionAccel > 0 || *disturbReads > 0):
+		usageErr("-retention-accel/-disturb-reads model Flash reliability; -flash 0 builds no Flash tier")
+	case (*checkpointIn != "" || *checkpointOut != "") && *traceFile != "":
+		usageErr("-checkpoint-in/-checkpoint-out support generated workloads only, not -trace " +
+			"(a trace file's stream position cannot be replayed deterministically)")
+	}
+	if *faultSpec != "" {
+		plan, err := parseFaults(*faultSpec)
+		if err != nil {
+			usageErr("-faults: %v", err)
+		}
+		if !plan.Active() {
+			usageErr("-faults %q provides no fault rates; set at least one of read/program/erase/grown/bad", *faultSpec)
+		}
+	}
 
 	fc := core.DefaultConfig(flash)
 	fc.Split = !*unified
 	fc.Programmable = !*noProg
 	fc.WearAcceleration = *wearAccel
 	fc.ScrubEvery = *scrubEvery
+	fc.Retention = wear.RetentionParams{Accel: *retentionAccel}
+	fc.Disturb = wear.DisturbParams{ReadsPerBit: *disturbReads}
+	fc.RefreshThreshold = *refreshThresh
 	if *faultSpec != "" {
 		plan, err := parseFaults(*faultSpec)
 		die(err)
@@ -217,10 +268,25 @@ func main() {
 		cfg.Flash = fc
 	}
 
+	// fingerprint names the configuration for checkpoint compatibility:
+	// a checkpoint resumes only under the exact flag set that produced
+	// it (minus -requests, which extends the campaign).
+	fingerprint := fmt.Sprintf(
+		"workload=%s scale=%g dram=%d flash=%d seed=%d unified=%v programmable=%v "+
+			"wear-accel=%g faults=%q scrub=%d shards=%d "+
+			"retention-accel=%g disturb-reads=%g refresh-threshold=%g",
+		*workloadName, *scale, dram, flash, *seed, *unified, !*noProg,
+		*wearAccel, *faultSpec, *scrubEvery, *shards,
+		*retentionAccel, *disturbReads, *refreshThresh)
+
 	// Build the simulator. Both arms yield the same driving surface;
-	// everything below this block is shared.
+	// everything below this block is shared. Checkpointing always
+	// routes through the engine — a single-shard engine reproduces the
+	// monolithic simulation bit-for-bit, and the checkpoint format is
+	// the engine's.
 	var sys simulator
-	if *shards > 1 {
+	useEngine := *shards > 1 || *checkpointIn != "" || *checkpointOut != ""
+	if useEngine {
 		eng, err := engine.New(engine.Config{Shards: *shards, Workers: *workers, Hier: cfg, Obs: obsOpts})
 		die(err)
 		sys = eng
@@ -231,6 +297,28 @@ func main() {
 		}
 		sys = hier.New(cfg)
 	}
+
+	// Resume: restore every shard's state and remember how much of the
+	// global stream the checkpointed run already simulated.
+	prevConsumed := 0
+	if *checkpointIn != "" {
+		eng := sys.(*engine.Engine)
+		f, err := os.Open(*checkpointIn)
+		die(err)
+		ck, err := engine.ReadCheckpoint(f)
+		die(err)
+		die(f.Close())
+		if ck.Fingerprint != fingerprint {
+			die(fmt.Errorf("checkpoint configuration mismatch:\n  checkpoint: %s\n  this run:   %s",
+				ck.Fingerprint, fingerprint))
+		}
+		if ck.Shards != *shards {
+			die(fmt.Errorf("checkpoint has %d shards, -shards says %d", ck.Shards, *shards))
+		}
+		die(eng.Restore(ck))
+		prevConsumed = int(ck.Consumed)
+	}
+	totalRequests := prevConsumed + *requests
 
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
@@ -272,14 +360,24 @@ func main() {
 		for i := range sources {
 			g, err := workload.New(*workloadName, *scale, *seed)
 			die(err)
-			sources[i] = workload.NewPartitioned(g, i, eng.Shards())
+			p := workload.NewPartitioned(g, i, eng.Shards())
+			// On resume, fast-forward past the prefix the checkpointed
+			// run already simulated: the generator is deterministic, so
+			// draining it re-synchronises the stream position exactly.
+			for {
+				if _, ok := p.NextUntil(prevConsumed); !ok {
+					break
+				}
+			}
+			sources[i] = p
 		}
-		die(eng.RunSources(sources, *requests))
+		die(eng.RunSources(sources, totalRequests))
 		// The sources consumed the stream shard-locally; replay a
-		// fresh generator to report the global trace footprint.
+		// fresh generator to report the global trace footprint (the
+		// full campaign's on resume, so reports stay cumulative).
 		g, err := workload.New(*workloadName, *scale, *seed)
 		die(err)
-		for i := 0; i < *requests; i++ {
+		for i := 0; i < totalRequests; i++ {
 			stats.Add(g.Next())
 		}
 	} else {
@@ -290,6 +388,20 @@ func main() {
 			stats.Add(req)
 			return req, true
 		}, *requests)
+	}
+	// Checkpoint before Drain: the unbroken run never drains mid-way,
+	// so a resumable snapshot must capture the pre-drain state for the
+	// continuation to be bit-identical. (Progress notes go to stderr —
+	// stdout stays byte-comparable across segmented and unbroken runs.)
+	if *checkpointOut != "" {
+		eng := sys.(*engine.Engine)
+		ck, err := eng.Checkpoint(fingerprint, int64(totalRequests))
+		die(err)
+		f, err := os.Create(*checkpointOut)
+		die(err)
+		die(engine.WriteCheckpoint(f, ck))
+		die(f.Close())
+		fmt.Fprintf(os.Stderr, "fdcsim: checkpoint after %d requests -> %s\n", totalRequests, *checkpointOut)
 	}
 	sys.Drain()
 	report := sys.Observe()
@@ -310,7 +422,9 @@ func main() {
 			len(report.Events), *traceEvents, report.DroppedEvents)
 	}
 
-	if eng, ok := sys.(*engine.Engine); ok {
+	if eng, ok := sys.(*engine.Engine); ok && eng.Shards() > 1 {
+		// A single-shard engine (the checkpoint path's monolithic form)
+		// stays silent so its report matches hier.System output.
 		fmt.Printf("shards:            %d (%d workers)\n", eng.Shards(), eng.Workers())
 	}
 	st := sys.Stats()
@@ -358,6 +472,10 @@ func main() {
 			}
 			fmt.Printf("integrity:         OK (%d cached pages verified)\n", sys.ValidPages())
 		}
+		if *retentionAccel > 0 || *disturbReads > 0 {
+			fmt.Printf("refresh policy:    %d retention scans, %d refresh rewrites, %d disturb resets\n",
+				cs.RetentionScans, cs.RefreshRewrites, cs.DisturbResets)
+		}
 	}
 	elapsed := srv.Elapsed(st.Requests, st.AvgLatency())
 	if db := sys.DiskBusy(); db > elapsed {
@@ -384,4 +502,12 @@ func die(err error) {
 		fmt.Fprintln(os.Stderr, "fdcsim:", err)
 		os.Exit(1)
 	}
+}
+
+// usageErr reports a flag-validation failure as a usage error (exit 2,
+// the flag package's convention) before any simulation state exists.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fdcsim: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run with -h for usage")
+	os.Exit(2)
 }

@@ -2,6 +2,12 @@
 // workload against the Flash cache until total Flash failure, with the
 // programmable controller versus a fixed BCH-1 controller, and watch
 // the controller's ECC/density decisions along the way.
+//
+// The run also exercises the reliability-realism knobs: a simulated
+// clock drives retention dwell (charge loss on pages that sit
+// unrewritten), per-block read counters accumulate read disturb, and
+// the background scrubber's refresh policy rewrites pages whose
+// predicted error count approaches their correction capability.
 package main
 
 import (
@@ -10,7 +16,11 @@ import (
 	"flashdc"
 )
 
-func lifetime(programmable bool) (accesses int64, eccEvents, densityEvents int64) {
+// opPeriod is how much simulated time each page access represents;
+// large on purpose so retention dwell matters within the demo budget.
+const opPeriod = 10 * flashdc.Second
+
+func lifetime(programmable bool) (accesses int64, st flashdc.CacheStats, ecc, density int64) {
 	g, err := flashdc.NewWorkload("Financial1", 1.0/32, 11)
 	if err != nil {
 		panic(err)
@@ -21,12 +31,25 @@ func lifetime(programmable bool) (accesses int64, eccEvents, densityEvents int64
 	// Compress wear so end of life arrives within the demo budget;
 	// identical for both controllers, so the ratio is meaningful.
 	cfg.WearAcceleration = 2000
+	// Reliability realism: accelerated retention loss, read disturb
+	// every 20k sibling reads, and a scrubber (every 256 host ops)
+	// whose refresh policy rewrites pages at 75% of ECC capability.
+	cfg.Retention = flashdc.RetentionParams{Accel: 5e4}
+	cfg.Disturb = flashdc.DisturbParams{ReadsPerBit: 20000}
+	cfg.ScrubEvery = 256
+	cfg.RefreshThreshold = 0.75
 	cache := flashdc.NewCache(cfg)
+
+	// The clock gives retention dwell a time base; every access
+	// advances it by opPeriod.
+	var clk flashdc.Clock
+	cache.AttachClock(&clk)
 
 	for i := 0; i < 10_000_000 && !cache.Dead(); i++ {
 		r := g.Next()
 		r.Expand(func(lba int64) {
 			accesses++
+			clk.Advance(opPeriod)
 			if r.Op == flashdc.OpWrite {
 				cache.Write(lba)
 				return
@@ -37,21 +60,30 @@ func lifetime(programmable bool) (accesses int64, eccEvents, densityEvents int64
 		})
 	}
 	gl := cache.Global()
-	return accesses, gl.ECCReconfigs, gl.DensityReconfigs
+	return accesses, cache.Stats(), gl.ECCReconfigs, gl.DensityReconfigs
 }
 
 func main() {
 	fmt.Println("Flash lifetime to total failure: programmable controller vs BCH-1")
-	fmt.Println("(Figure 12 scenario: Financial1, Flash = working set / 2, accelerated wear)")
+	fmt.Println("(Figure 12 scenario: Financial1, Flash = working set / 2, accelerated wear,")
+	fmt.Println(" retention loss + read disturb + scrubber refresh policy enabled)")
 	fmt.Println()
 
-	progLife, ecc, density := lifetime(true)
-	baseLife, _, _ := lifetime(false)
+	progLife, progStats, ecc, density := lifetime(true)
+	baseLife, baseStats, _, _ := lifetime(false)
 
 	fmt.Printf("programmable controller: %8d accesses until total failure\n", progLife)
 	fmt.Printf("  controller decisions:  %d ECC strength increases, %d density reductions\n",
 		ecc, density)
+	fmt.Printf("  scrubber:              %d pages scanned, %d wear migrations\n",
+		progStats.ScrubScans, progStats.ScrubMigrations)
+	fmt.Printf("  refresh policy:        %d retention scans, %d refresh rewrites, %d disturb resets\n",
+		progStats.RetentionScans, progStats.RefreshRewrites, progStats.DisturbResets)
 	fmt.Printf("fixed BCH-1 controller:  %8d accesses until total failure\n", baseLife)
+	fmt.Printf("  scrubber:              %d pages scanned, %d wear migrations\n",
+		baseStats.ScrubScans, baseStats.ScrubMigrations)
+	fmt.Printf("  refresh policy:        %d retention scans, %d refresh rewrites, %d disturb resets\n",
+		baseStats.RetentionScans, baseStats.RefreshRewrites, baseStats.DisturbResets)
 	fmt.Printf("\nlifetime extension: %.1fx (paper reports ~20x on average)\n",
 		float64(progLife)/float64(baseLife))
 }

@@ -232,6 +232,22 @@ const (
 	ModeMLC = wear.MLC
 )
 
+// Reliability realism: deterministic retention-loss and read-disturb
+// error processes, configured via CacheConfig.Retention / .Disturb
+// (zero values disable both, preserving the ideal-NAND behaviour).
+type (
+	// RetentionParams models charge loss with dwell time since a page
+	// was programmed, accelerated by accumulated wear.
+	RetentionParams = wear.RetentionParams
+	// DisturbParams models read disturb accumulating with sibling
+	// reads on a block, cleared by erase.
+	DisturbParams = wear.DisturbParams
+	// Clock is the simulated time base; attach one to a standalone
+	// Cache via AttachClock so retention dwell advances (the hierarchy
+	// and engine attach theirs automatically).
+	Clock = sim.Clock
+)
+
 // OpenCacheOption configures OpenCache (functional options).
 type OpenCacheOption = core.OpenOption
 
@@ -319,3 +335,24 @@ func NewObserver(o ObsOptions) *Observer { return obs.New(o) }
 // Engine (sharded): one code path replays a stream and collects the
 // merged counters and observability report from either.
 type Simulator = hier.Simulator
+
+// CampaignCheckpoint is a whole-campaign snapshot (every shard's full
+// simulator state plus the stream position) that resumes
+// bit-identically to an unbroken run; build one with
+// Engine.Checkpoint, apply with Engine.Restore.
+type CampaignCheckpoint = engine.Checkpoint
+
+// ErrCorruptCheckpoint tags every checkpoint-file validation failure;
+// test with errors.Is.
+var ErrCorruptCheckpoint = engine.ErrCorruptCheckpoint
+
+// WriteCampaignCheckpoint serialises a checkpoint inside the
+// CRC-guarded envelope (deterministic bytes for identical states).
+func WriteCampaignCheckpoint(w io.Writer, ck *CampaignCheckpoint) error {
+	return engine.WriteCheckpoint(w, ck)
+}
+
+// ReadCampaignCheckpoint decodes and validates a checkpoint file.
+func ReadCampaignCheckpoint(r io.Reader) (*CampaignCheckpoint, error) {
+	return engine.ReadCheckpoint(r)
+}

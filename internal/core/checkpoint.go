@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"flashdc/internal/fault"
+	"flashdc/internal/nand"
+	"flashdc/internal/sim"
+	"flashdc/internal/tables"
+)
+
+// Campaign checkpointing: unlike SaveMetadata (which captures only
+// what survives a power cycle — the management tables — and rebuilds
+// the rest by replay), a checkpoint captures the complete simulation
+// state so a multi-year wear campaign can stop and resume with the
+// continuation bit-identical to an unbroken run. That means carrying
+// state the metadata image deliberately discards: exact region LRU
+// recency, allocator cursors and heuristic accumulators, the fault
+// injector's RNG position, retention dwell stamps, per-block disturb
+// counters and the pending scrub deadline.
+//
+// The wear trajectories (per-page bit-error curves) are intentionally
+// NOT serialised: they are a pure function of (Config.Seed, geometry)
+// and the restored erase counts, so New rebuilds them exactly.
+
+// CheckpointBlock is one erase block's management state.
+type CheckpointBlock struct {
+	State                 uint8
+	Region                int
+	Valid, Consumed       int
+	CursorSlot, CursorSub int
+	AccessSum, LastErase  uint64
+	ProgFails             int
+	Status                tables.BlockStatus
+}
+
+// CheckpointRegion is one allocation region's state. Order matters
+// everywhere: Free is popped from the end, LRU is listed front (most
+// recently used) to back.
+type CheckpointRegion struct {
+	Free   []int
+	Open   int
+	LRU    []int
+	Blocks int
+}
+
+// CacheCheckpoint is the complete state of one Flash cache.
+type CacheCheckpoint struct {
+	FlashBytes int64
+
+	Pages   [][]([2]tables.PageStatus)
+	Blocks  []CheckpointBlock
+	Regions []CheckpointRegion
+	FGST    tables.FGST
+	Device  nand.DeviceCheckpoint
+
+	Stats        Stats
+	Seq, GCCheck uint64
+	TotalValid   int64
+	MarginalFreq float64
+	Dead         bool
+	BusyUntil    sim.Time
+
+	ScrubTick             uint64
+	ScrubBlock, ScrubSlot int
+	ScrubSub              int
+	// NextScrubAt is the pending clock-driven scrub deadline;
+	// HasScrubEvent false means none was armed.
+	NextScrubAt   sim.Time
+	HasScrubEvent bool
+
+	// Injector is the fault injector's RNG/counter state;
+	// HasInjector false records that the run had no injector.
+	Injector    fault.InjectorState
+	HasInjector bool
+}
+
+// Checkpoint captures the cache's complete state. The cache must be
+// quiescent (no in-flight operation). It fails on payload-carrying
+// devices, which the token-driven simulation paths never create.
+func (c *Cache) Checkpoint() (*CacheCheckpoint, error) {
+	dev, err := c.dev.Checkpoint()
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpointing device: %w", err)
+	}
+	ck := &CacheCheckpoint{
+		FlashBytes: c.cfg.FlashBytes,
+		Pages:      make([][]([2]tables.PageStatus), len(c.meta)),
+		Blocks:     make([]CheckpointBlock, len(c.meta)),
+		Regions:    make([]CheckpointRegion, len(c.regions)),
+		FGST:       c.fgst,
+		Device:     dev,
+
+		Stats:        c.stats,
+		Seq:          c.seq,
+		GCCheck:      c.gcCheck,
+		TotalValid:   c.totalValid,
+		MarginalFreq: c.marginalFreq,
+		Dead:         c.dead,
+		BusyUntil:    c.busyUntil,
+
+		ScrubTick:  c.scrubTick,
+		ScrubBlock: c.scrubBlock,
+		ScrubSlot:  c.scrubSlot,
+		ScrubSub:   c.scrubSub,
+	}
+	if c.scrubEvent != nil {
+		ck.NextScrubAt = c.scrubEvent.At
+		ck.HasScrubEvent = true
+	}
+	if inj := c.dev.FaultInjector(); inj != nil {
+		ck.Injector = inj.Checkpoint()
+		ck.HasInjector = true
+	}
+	for b := range c.meta {
+		ck.Pages[b] = make([]([2]tables.PageStatus), nand.SlotsPerBlock)
+		for s := 0; s < nand.SlotsPerBlock; s++ {
+			for sub := 0; sub < 2; sub++ {
+				ck.Pages[b][s][sub] = *c.fpst.At(nand.Addr{Block: b, Slot: s, Sub: sub})
+			}
+		}
+		m := &c.meta[b]
+		ck.Blocks[b] = CheckpointBlock{
+			State:      uint8(m.state),
+			Region:     m.region,
+			Valid:      m.valid,
+			Consumed:   m.consumed,
+			CursorSlot: m.cursorSlot,
+			CursorSub:  m.cursorSub,
+			AccessSum:  m.accessSum,
+			LastErase:  m.lastEraseSeq,
+			ProgFails:  m.progFails,
+			Status:     *c.fbst.At(b),
+		}
+	}
+	for i, r := range c.regions {
+		cr := CheckpointRegion{
+			Free:   append([]int(nil), r.free...),
+			Open:   r.open,
+			Blocks: r.blocks,
+		}
+		for e := r.lru.Front(); e != nil; e = e.Next() {
+			cr.LRU = append(cr.LRU, e.Value.(int))
+		}
+		ck.Regions[i] = cr
+	}
+	return ck, nil
+}
+
+// Restore overwrites the cache's state with a checkpoint taken from a
+// cache built with the same configuration. The receiver should be
+// fresh from New (with any clock already attached); mid-run restores
+// would leak the previous contents' event state. Dimension mismatches
+// and the final integrity audit reject a checkpoint that does not fit
+// the configuration, before and after applying it respectively.
+func (c *Cache) Restore(ck *CacheCheckpoint) error {
+	if ck.FlashBytes != c.cfg.FlashBytes {
+		return fmt.Errorf("core: checkpoint for %dB Flash, config says %dB",
+			ck.FlashBytes, c.cfg.FlashBytes)
+	}
+	if len(ck.Pages) != len(c.meta) || len(ck.Blocks) != len(c.meta) {
+		return fmt.Errorf("core: checkpoint for %d/%d blocks, cache has %d",
+			len(ck.Pages), len(ck.Blocks), len(c.meta))
+	}
+	if len(ck.Regions) != len(c.regions) {
+		return fmt.Errorf("core: checkpoint has %d regions, cache has %d",
+			len(ck.Regions), len(c.regions))
+	}
+	if err := c.dev.Restore(ck.Device); err != nil {
+		return fmt.Errorf("core: restoring device: %w", err)
+	}
+	inj := c.dev.FaultInjector()
+	if ck.HasInjector != (inj != nil) {
+		return fmt.Errorf("core: checkpoint injector presence %v, config says %v",
+			ck.HasInjector, inj != nil)
+	}
+	if inj != nil {
+		if err := inj.Restore(ck.Injector); err != nil {
+			return fmt.Errorf("core: restoring fault injector: %w", err)
+		}
+	}
+
+	c.fcht = tables.NewFCHT()
+	for b := range c.meta {
+		if len(ck.Pages[b]) != nand.SlotsPerBlock {
+			return fmt.Errorf("core: checkpoint block %d has %d slots, want %d",
+				b, len(ck.Pages[b]), nand.SlotsPerBlock)
+		}
+		for s := 0; s < nand.SlotsPerBlock; s++ {
+			for sub := 0; sub < 2; sub++ {
+				a := nand.Addr{Block: b, Slot: s, Sub: sub}
+				st := ck.Pages[b][s][sub]
+				*c.fpst.At(a) = st
+				if st.Valid {
+					c.fcht.Put(st.LBA, a)
+				}
+			}
+		}
+		cb := &ck.Blocks[b]
+		if cb.Region < 0 || cb.Region >= len(c.regions) {
+			return fmt.Errorf("core: checkpoint block %d in region %d of %d",
+				b, cb.Region, len(c.regions))
+		}
+		m := &c.meta[b]
+		m.state = blockLifecycle(cb.State)
+		m.region = cb.Region
+		m.valid = cb.Valid
+		m.consumed = cb.Consumed
+		m.cursorSlot = cb.CursorSlot
+		m.cursorSub = cb.CursorSub
+		m.accessSum = cb.AccessSum
+		m.lastEraseSeq = cb.LastErase
+		m.progFails = cb.ProgFails
+		m.elem = nil
+		*c.fbst.At(b) = cb.Status
+	}
+	for i, r := range c.regions {
+		cr := &ck.Regions[i]
+		r.free = append(r.free[:0], cr.Free...)
+		r.open = cr.Open
+		r.blocks = cr.Blocks
+		r.lru.Init()
+		for _, b := range cr.LRU {
+			if b < 0 || b >= len(c.meta) {
+				return fmt.Errorf("core: checkpoint region %d lists block %d of %d", i, b, len(c.meta))
+			}
+			c.meta[b].elem = r.lru.PushBack(b)
+		}
+	}
+	c.fgst = ck.FGST
+	c.stats = ck.Stats
+	c.seq = ck.Seq
+	c.gcCheck = ck.GCCheck
+	c.totalValid = ck.TotalValid
+	c.marginalFreq = ck.MarginalFreq
+	c.dead = ck.Dead
+	c.busyUntil = ck.BusyUntil
+	c.scrubTick = ck.ScrubTick
+	c.scrubBlock = ck.ScrubBlock
+	c.scrubSlot = ck.ScrubSlot
+	c.scrubSub = ck.ScrubSub
+
+	// Re-arm the clock-driven scrubber exactly where the checkpointed
+	// run had it pending (New/AttachClock armed it one period from
+	// time zero, which is the past for a resumed clock).
+	c.events.Cancel(c.scrubEvent)
+	c.scrubEvent = nil
+	if ck.HasScrubEvent && c.clock != nil && c.cfg.ScrubPeriod > 0 {
+		c.armScrubAt(ck.NextScrubAt)
+	}
+
+	if err := c.CheckIntegrity(); err != nil {
+		return fmt.Errorf("core: checkpoint fails integrity audit (wrong configuration?): %w", err)
+	}
+	return nil
+}

@@ -131,6 +131,25 @@ type Config struct {
 	// simulated-time period, occupying the device like other
 	// background work. 0 relies on the operation-count trigger alone.
 	ScrubPeriod sim.Duration
+	// Retention parameterises the retention-loss error process: pages
+	// accumulate flips while they dwell programmed, measured against
+	// the simulated clock (hier attaches its clock automatically; bare
+	// caches need AttachClock or AttachTimeBase). The zero value
+	// disables the process.
+	Retention wear.RetentionParams
+	// Disturb parameterises the read-disturb error process: block
+	// reads add flips to sibling pages until the block is erased. The
+	// zero value disables the process.
+	Disturb wear.DisturbParams
+	// RefreshThreshold tunes the scrubber's refresh policy when
+	// Retention or Disturb is enabled: a valid page whose predicted
+	// total error count (wear + retention + disturb) reaches this
+	// fraction of its ECC strength is rewritten to fresh space, which
+	// restarts its retention dwell and escapes its block's disturb
+	// accumulation. Pages whose wear alone reaches capability still
+	// take the remap path (stronger configuration staged). 0 means 1.0
+	// — refresh only at full capability.
+	RefreshThreshold float64
 }
 
 // DefaultConfig returns the paper's configuration for a cache of the
@@ -208,6 +227,13 @@ type Stats struct {
 	// total background duration.
 	ScrubScans, ScrubMigrations int64
 	ScrubTime                   sim.Duration
+	// Refresh-policy activity (nonzero only with retention or read
+	// disturb enabled). RetentionScans counts predictive scrub
+	// increments; RefreshRewrites the healthy pages rewritten because
+	// predicted retention+disturb errors approached capability;
+	// DisturbResets the block erases that cleared a nonzero
+	// read-disturb counter.
+	RetentionScans, RefreshRewrites, DisturbResets int64
 }
 
 // Merge adds other's counters into s, combining the activity of
@@ -237,6 +263,9 @@ func (s *Stats) Merge(other Stats) {
 	s.ScrubScans += other.ScrubScans
 	s.ScrubMigrations += other.ScrubMigrations
 	s.ScrubTime += other.ScrubTime
+	s.RetentionScans += other.RetentionScans
+	s.RefreshRewrites += other.RefreshRewrites
+	s.DisturbResets += other.DisturbResets
 }
 
 // MissRate returns read misses over read lookups.
@@ -364,6 +393,12 @@ func New(cfg Config) *Cache {
 	if cfg.ScrubBatch == 0 {
 		cfg.ScrubBatch = 128
 	}
+	if cfg.RefreshThreshold == 0 {
+		cfg.RefreshThreshold = 1
+	}
+	if cfg.RefreshThreshold < 0 || cfg.RefreshThreshold > 1 {
+		panic(fmt.Sprintf("core: refresh threshold %v outside (0,1]", cfg.RefreshThreshold))
+	}
 
 	blocks := nand.BlocksForCapacity(cfg.FlashBytes, cfg.InitialMode)
 	if blocks < 4 {
@@ -384,6 +419,8 @@ func New(cfg Config) *Cache {
 			Timing:           cfg.Timing,
 			Seed:             cfg.Seed,
 			WearAcceleration: cfg.WearAcceleration,
+			Retention:        cfg.Retention,
+			Disturb:          cfg.Disturb,
 			Faults:           injector,
 			FactoryBadBlocks: factoryBad,
 		}),
@@ -545,11 +582,19 @@ func (c *Cache) ResetDeviceStats() {
 // never doubles the scrub cadence.
 func (c *Cache) AttachClock(clock *sim.Clock) {
 	c.clock = clock
+	c.dev.AttachClock(clock)
 	if c.obs != nil {
 		c.obs.SetClock(clock)
 	}
 	c.scheduleScrub()
 }
+
+// AttachTimeBase gives the device a simulated time base for retention
+// dwell accounting without enabling contention modelling or the
+// clock-driven scrubber. The hierarchy attaches its clock this way
+// unconditionally, so the retention process works in every run;
+// AttachClock subsumes it.
+func (c *Cache) AttachTimeBase(clock *sim.Clock) { c.dev.AttachClock(clock) }
 
 // pumpEvents fires due background events (the clock-driven scrubber)
 // against the attached clock. A no-op without a clock.

@@ -46,6 +46,9 @@ func (c *Cache) AttachObserver(o *obs.Observer) {
 		s.Counter("cache_remaps_total", st.Remaps)
 		s.Counter("cache_scrub_scans_total", st.ScrubScans)
 		s.Counter("cache_scrub_migrations_total", st.ScrubMigrations)
+		s.Counter("cache_retention_scans_total", st.RetentionScans)
+		s.Counter("cache_refresh_rewrites_total", st.RefreshRewrites)
+		s.Counter("cache_disturb_resets_total", st.DisturbResets)
 		s.Counter("cache_ecc_reconfigs_total", c.fgst.ECCReconfigs)
 		s.Counter("cache_density_reconfigs_total", c.fgst.DensityReconfigs)
 		s.Gauge("cache_valid_pages", float64(c.totalValid))
@@ -133,5 +136,23 @@ func (c *Cache) eventReadRetry(block int, lba int64, attempts, strength int, rec
 func (c *Cache) eventScrubMigrate(block int, lba int64) {
 	if c.obs != nil {
 		c.obs.Event(obs.Event{Kind: obs.KindScrubMigrate, Block: block, LBA: lba})
+	}
+}
+
+func (c *Cache) eventRetentionScan(pages int) {
+	if c.obs != nil {
+		c.obs.Event(obs.Event{Kind: obs.KindRetentionScan, Block: -1, N: int64(pages)})
+	}
+}
+
+func (c *Cache) eventRefreshRewrite(block int, lba int64) {
+	if c.obs != nil {
+		c.obs.Event(obs.Event{Kind: obs.KindRefreshRewrite, Block: block, LBA: lba})
+	}
+}
+
+func (c *Cache) eventDisturbReset(block int, reads int64) {
+	if c.obs != nil {
+		c.obs.Event(obs.Event{Kind: obs.KindDisturbReset, Block: block, N: reads})
 	}
 }

@@ -1,15 +1,12 @@
 package core
 
 import (
-	"bytes"
-	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 
-	"flashdc/internal/crcx"
 	"flashdc/internal/ecc"
+	"flashdc/internal/envelope"
 	"flashdc/internal/nand"
 	"flashdc/internal/sim"
 	"flashdc/internal/tables"
@@ -49,7 +46,7 @@ var ErrCorruptMetadata = errors.New("core: corrupt metadata image")
 const (
 	persistVersion    = 2
 	persistMagic      = "FDCM"
-	persistHeaderSize = 16 // magic + version + payload length
+	persistHeaderSize = envelope.HeaderSize
 	// persistMaxErases bounds the per-block erase counts a load will
 	// replay. Legitimate images stay far below (SLC endurance is 100k
 	// cycles); the bound stops a crafted image from spinning the
@@ -146,54 +143,17 @@ func (c *Cache) SaveMetadata(w io.Writer) error {
 }
 
 // writeEnvelope wraps a payload image in the self-validating envelope:
-// header, gob body, CRC-32 trailer.
+// header, gob body, CRC-32 trailer (internal/envelope).
 func writeEnvelope(w io.Writer, img *persistImage) error {
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(img); err != nil {
-		return fmt.Errorf("core: encoding metadata: %w", err)
-	}
-	buf := make([]byte, persistHeaderSize, persistHeaderSize+payload.Len()+crcx.Size)
-	copy(buf, persistMagic)
-	binary.LittleEndian.PutUint32(buf[4:], persistVersion)
-	binary.LittleEndian.PutUint64(buf[8:], uint64(payload.Len()))
-	buf = append(buf, payload.Bytes()...)
-	buf = crcx.Append(buf, crcx.Checksum(buf))
-	_, err := w.Write(buf)
-	return err
+	return envelope.Write(w, persistMagic, persistVersion, img)
 }
 
 // decodeEnvelope validates the envelope around a metadata image and
 // gob-decodes the payload. Every failure wraps ErrCorruptMetadata.
 func decodeEnvelope(r io.Reader) (*persistImage, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("%w: reading image: %v", ErrCorruptMetadata, err)
-	}
-	if len(data) < persistHeaderSize+crcx.Size {
-		return nil, fmt.Errorf("%w: truncated at %d bytes (header needs %d)",
-			ErrCorruptMetadata, len(data), persistHeaderSize+crcx.Size)
-	}
-	if string(data[:4]) != persistMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptMetadata, data[:4])
-	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != persistVersion {
-		return nil, fmt.Errorf("%w: format version %d, want %d",
-			ErrCorruptMetadata, v, persistVersion)
-	}
-	plen := binary.LittleEndian.Uint64(data[8:])
-	if plen != uint64(len(data)-persistHeaderSize-crcx.Size) {
-		return nil, fmt.Errorf("%w: payload length %d but %d bytes present",
-			ErrCorruptMetadata, plen, len(data)-persistHeaderSize-crcx.Size)
-	}
-	body := data[:len(data)-crcx.Size]
-	want := crcx.Extract(data[len(data)-crcx.Size:])
-	if got := crcx.Checksum(body); got != want {
-		return nil, fmt.Errorf("%w: CRC %08x, trailer says %08x",
-			ErrCorruptMetadata, got, want)
-	}
 	var img persistImage
-	if err := gob.NewDecoder(bytes.NewReader(body[persistHeaderSize:])).Decode(&img); err != nil {
-		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCorruptMetadata, err)
+	if err := envelope.Read(r, persistMagic, persistVersion, &img); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptMetadata, err)
 	}
 	if img.Version != persistVersion {
 		return nil, fmt.Errorf("%w: payload version %d, want %d",

@@ -21,6 +21,10 @@ func (c *Cache) applyStagedAndErase(b int) sim.Duration {
 	if m.valid != 0 {
 		panic("core: erasing a block with valid pages")
 	}
+	disturbReads := int64(0)
+	if c.cfg.Disturb.Enabled() {
+		disturbReads = c.dev.BlockReads(b)
+	}
 	lat, err := c.dev.Erase(b)
 	if err != nil {
 		if errors.Is(err, nand.ErrEraseFailed) {
@@ -29,6 +33,12 @@ func (c *Cache) applyStagedAndErase(b int) sim.Duration {
 			return lat
 		}
 		panic(err)
+	}
+	if disturbReads > 0 {
+		// The erase re-programmed every cell, discarding the block's
+		// accumulated read-disturb stress.
+		c.stats.DisturbResets++
+		c.eventDisturbReset(b, disturbReads)
 	}
 	m.progFails = 0
 	c.fbst.At(b).Erases++

@@ -48,7 +48,15 @@ func (c *Cache) scheduleScrub() {
 	if c.clock == nil || c.cfg.ScrubPeriod <= 0 || c.scrubEvent != nil {
 		return
 	}
-	c.scrubEvent = c.events.Schedule(c.clock.Now().Add(c.cfg.ScrubPeriod), func(sim.Time) {
+	c.armScrubAt(c.clock.Now().Add(c.cfg.ScrubPeriod))
+}
+
+// armScrubAt schedules the next scrub at an explicit deadline. Split
+// from scheduleScrub so a checkpoint restore can re-arm the cadence at
+// the exact instant the checkpointed run had pending, keeping resumed
+// scrub timing bit-identical to an unbroken run.
+func (c *Cache) armScrubAt(at sim.Time) {
+	c.scrubEvent = c.events.Schedule(at, func(sim.Time) {
 		c.scrubEvent = nil
 		c.scrubStep()
 		c.scheduleScrub()
@@ -58,30 +66,51 @@ func (c *Cache) scheduleScrub() {
 // scrubStep examines up to ScrubBatch pages from the scan cursor and
 // migrates the at-risk ones. The spent time is background (like GC):
 // it occupies the device but never a foreground request directly.
+//
+// With retention or read disturb enabled this is a predictive refresh
+// pass: the decision for each valid page splits on what the predicted
+// errors are made of. Wear at or beyond capability takes the remap
+// path (scrubMigrate — relocate and stage a stronger configuration,
+// because the cells themselves have degraded); healthy cells whose
+// total predicted count (wear + retention dwell + accumulated disturb)
+// has climbed to RefreshThreshold of capability take the rewrite path
+// (refreshRewrite — relocate only, since fresh programming restarts
+// the dwell and the source block's eventual erase clears its disturb
+// counter). Both processes are deterministic functions of simulated
+// state, so the prediction equals what the next read would see.
 func (c *Cache) scrubStep() sim.Duration {
 	if c.dead {
 		return 0
 	}
+	predictive := c.cfg.Retention.Enabled() || c.cfg.Disturb.Enabled()
 	var t sim.Duration
+	scanned := 0
 	for i := 0; i < c.cfg.ScrubBatch; i++ {
 		a := c.nextScrubAddr()
 		if a.Block < 0 {
 			break // no scannable blocks at all
 		}
+		scanned++
 		c.stats.ScrubScans++
 		st := c.fpst.At(a)
 		if !st.Valid {
 			continue
 		}
-		if c.dev.BitErrors(a) < int(st.Strength) {
-			continue
+		if c.dev.WearBitErrors(a) >= int(st.Strength) {
+			t += c.scrubMigrate(a)
+		} else if predictive &&
+			float64(c.dev.BitErrors(a)) >= c.cfg.RefreshThreshold*float64(st.Strength) {
+			t += c.refreshRewrite(a)
 		}
-		t += c.scrubMigrate(a)
 		if c.dead {
 			break
 		}
 	}
 	c.stats.ScrubTime += t
+	if predictive && scanned > 0 {
+		c.stats.RetentionScans++
+		c.eventRetentionScan(scanned)
+	}
 	c.occupyDevice(t)
 	return t
 }
@@ -157,5 +186,42 @@ func (c *Cache) scrubMigrate(a nand.Addr) sim.Duration {
 	c.fcht.Put(lba, dst)
 	c.stats.ScrubMigrations++
 	c.eventScrubMigrate(a.Block, lba)
+	return t
+}
+
+// refreshRewrite relocates one page whose predicted retention/disturb
+// error count approaches its correction capability. Unlike
+// scrubMigrate it stages no stronger configuration — the cells are
+// healthy; the data had merely sat too long or its block absorbed too
+// many reads. Rewriting restarts the retention dwell at zero, and the
+// destination block's disturb count is whatever it has accumulated,
+// normally far below the source's. Returns the background time spent.
+func (c *Cache) refreshRewrite(a nand.Addr) sim.Duration {
+	st := c.fpst.At(a)
+	lba, mode, access, staged := st.LBA, st.Mode, st.Access, st.StagedStrength
+	region := c.regions[c.meta[a.Block].region]
+	res, err := c.dev.Read(a)
+	if err != nil {
+		return 0 // raced with retirement; nothing to save
+	}
+	t := res.Latency
+	c.invalidate(a)
+	dst, lat := c.allocProgram(region, mode, lba)
+	if c.dead {
+		// Allocation collapsed (mass retirement): the page can no
+		// longer live in Flash, so flush dirty data instead of losing it.
+		if region.id == c.writeRegionIndex() && len(c.regions) == 2 {
+			c.stats.FlushedPages++
+			c.cfg.Backing.WritePage(lba)
+		}
+		return t
+	}
+	t += lat
+	d := c.fpst.At(dst)
+	d.Access = access
+	d.StagedStrength = maxStrength(d.StagedStrength, staged)
+	c.fcht.Put(lba, dst)
+	c.stats.RefreshRewrites++
+	c.eventRefreshRewrite(a.Block, lba)
 	return t
 }

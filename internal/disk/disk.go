@@ -101,3 +101,7 @@ func (d *Disk) Write() sim.Duration {
 
 // ResetStats zeroes the activity counters (e.g. after cache warmup).
 func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// Restore replaces the counters with checkpointed values (the drive
+// itself is stateless beyond them).
+func (d *Disk) Restore(st Stats) { d.stats = st }

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"flashdc/internal/core"
+	"flashdc/internal/fault"
+	"flashdc/internal/hier"
+	"flashdc/internal/sim"
+	"flashdc/internal/trace"
+	"flashdc/internal/wear"
+)
+
+// campaignHier is a hierarchy configuration that stresses every
+// checkpointed subsystem: fault RNG streams, scrub events, retention
+// dwell stamps and disturb counters.
+func campaignHier(seed uint64) hier.Config {
+	fc := core.DefaultConfig(16 << 20)
+	fc.ScrubEvery = 256
+	fc.ScrubPeriod = 5 * sim.Millisecond
+	fc.Retention = wear.RetentionParams{Accel: 1e8}
+	fc.Disturb = wear.DisturbParams{ReadsPerBit: 100}
+	fc.RefreshThreshold = 0.75
+	fc.Faults = &fault.Plan{
+		Seed:         19,
+		ReadFlipRate: 0.01,
+		ReadFlipMax:  3,
+		GrownBadRate: 0.2,
+	}
+	return hier.Config{
+		DRAMBytes:  128 << 10,
+		FlashBytes: 16 << 20,
+		Seed:       seed,
+		Flash:      fc,
+	}
+}
+
+// campaignReqs generates a deterministic request sequence.
+func campaignReqs(seed uint64, n int) []trace.Request {
+	rng := sim.NewRNG(seed)
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		req := trace.Request{Op: trace.OpRead, Pages: 1}
+		if rng.Bool(0.3) {
+			req.Op = trace.OpWrite
+		}
+		if rng.Bool(0.1) {
+			req.Pages = 1 + rng.Intn(4)
+		}
+		req.LBA = int64(rng.Uint64n(4096))
+		reqs[i] = req
+	}
+	return reqs
+}
+
+func feed(e *Engine, reqs []trace.Request) {
+	i := 0
+	e.RunStream(func() (trace.Request, bool) {
+		if i >= len(reqs) {
+			return trace.Request{}, false
+		}
+		r := reqs[i]
+		i++
+		return r, true
+	}, len(reqs))
+}
+
+func checkpointBytes(t *testing.T, e *Engine, fingerprint string, consumed int64) []byte {
+	t.Helper()
+	ck, err := e.Checkpoint(fingerprint, consumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEngineCheckpointSegmentedBitIdentical is the campaign guarantee:
+// running N requests in one unbroken run, versus N/2 + checkpoint +
+// restore into a fresh engine + N/2, produces byte-identical
+// checkpoints and identical merged statistics.
+func TestEngineCheckpointSegmentedBitIdentical(t *testing.T) {
+	const shards, n = 2, 12000
+	hc := campaignHier(5)
+	reqs := campaignReqs(77, n)
+
+	// Unbroken run.
+	full, err := New(Config{Shards: shards, Hier: hc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(full, reqs)
+	fullCk := checkpointBytes(t, full, "fp", int64(n))
+
+	// Segmented: first half, checkpoint through the wire format,
+	// restore into a fresh engine, second half.
+	seg, err := New(Config{Shards: shards, Hier: hc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(seg, reqs[:n/2])
+	wire := checkpointBytes(t, seg, "fp", int64(n/2))
+
+	ck, err := ReadCheckpoint(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Fingerprint != "fp" || ck.Consumed != int64(n/2) || ck.Shards != shards {
+		t.Fatalf("checkpoint header round-trip: %+v", ck)
+	}
+	resumed, err := New(Config{Shards: shards, Hier: hc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	feed(resumed, reqs[n/2:])
+	resumedCk := checkpointBytes(t, resumed, "fp", int64(n))
+
+	if !bytes.Equal(fullCk, resumedCk) {
+		t.Fatalf("final checkpoints differ: %d vs %d bytes", len(fullCk), len(resumedCk))
+	}
+
+	full.Drain()
+	resumed.Drain()
+	if !reflect.DeepEqual(resumed.Stats(), full.Stats()) {
+		t.Fatalf("merged stats diverge:\n got %+v\nwant %+v", resumed.Stats(), full.Stats())
+	}
+	if !reflect.DeepEqual(resumed.FlashStats(), full.FlashStats()) {
+		t.Fatalf("merged flash stats diverge:\n got %+v\nwant %+v", resumed.FlashStats(), full.FlashStats())
+	}
+	if !reflect.DeepEqual(resumed.DeviceStats(), full.DeviceStats()) {
+		t.Fatal("merged device stats diverge")
+	}
+	if !reflect.DeepEqual(resumed.FaultStats(), full.FaultStats()) {
+		t.Fatal("merged fault stats diverge (injector RNG not restored)")
+	}
+	if !reflect.DeepEqual(resumed.TierStats(), full.TierStats()) {
+		t.Fatal("merged tier stats diverge")
+	}
+	if !reflect.DeepEqual(resumed.Latencies(), full.Latencies()) {
+		t.Fatal("merged latency histograms diverge")
+	}
+	if err := resumed.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineRestoreRejectsMismatch: a checkpoint only restores into an
+// engine of the same shard width, and a corrupted stream is refused
+// with ErrCorruptCheckpoint.
+func TestEngineRestoreRejectsMismatch(t *testing.T) {
+	hc := campaignHier(6)
+	e, err := New(Config{Shards: 2, Hier: hc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(e, campaignReqs(3, 500))
+	ck, err := e.Checkpoint("fp", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := New(Config{Shards: 4, Hier: hc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.Restore(ck); err == nil {
+		t.Fatal("4-shard engine restored a 2-shard checkpoint")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	wire[len(wire)-1] ^= 0xFF // flip a CRC bit
+	if _, err := ReadCheckpoint(bytes.NewReader(wire)); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("corrupted checkpoint read reported %v, want ErrCorruptCheckpoint", err)
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(wire[:8])); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("truncated checkpoint read reported %v, want ErrCorruptCheckpoint", err)
+	}
+}

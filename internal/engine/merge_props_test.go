@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"flashdc/internal/core"
+	"flashdc/internal/fault"
+)
+
+// TestMergeFoldsAcrossShardCounts property-tests the sharded stats
+// aggregation: for every shard count, the engine's merged fault and
+// Flash statistics (including the refresh-policy counters) must equal
+// a manual fold over the per-shard systems, and the refresh counters
+// must actually be live so the property is not vacuously true.
+func TestMergeFoldsAcrossShardCounts(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		hc := campaignHier(9)
+		e, err := New(Config{Shards: shards, Hier: hc})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		feed(e, campaignReqs(123, 16000))
+		e.Drain()
+
+		var wantFault fault.Stats
+		var wantFlash core.Stats
+		perShardFault := make([]fault.Stats, 0, shards)
+		perShardFlash := make([]core.Stats, 0, shards)
+		for s := 0; s < shards; s++ {
+			f := e.Shard(s).Flash()
+			if f == nil {
+				t.Fatalf("shards=%d: shard %d has no Flash tier", shards, s)
+			}
+			wantFault.Merge(f.FaultStats())
+			wantFlash.Merge(f.Stats())
+			perShardFault = append(perShardFault, f.FaultStats())
+			perShardFlash = append(perShardFlash, f.Stats())
+		}
+		if got := e.FaultStats(); !reflect.DeepEqual(got, wantFault) {
+			t.Fatalf("shards=%d: merged fault stats %+v, manual fold %+v", shards, got, wantFault)
+		}
+		if got := e.FlashStats(); !reflect.DeepEqual(got, wantFlash) {
+			t.Fatalf("shards=%d: merged flash stats %+v, manual fold %+v", shards, got, wantFlash)
+		}
+
+		// Not vacuous: the campaign must exercise the things it merges.
+		if wantFault.ReadInjections == 0 {
+			t.Fatalf("shards=%d: fault campaign injected nothing", shards)
+		}
+		if wantFlash.RetentionScans == 0 || wantFlash.DisturbResets == 0 {
+			t.Fatalf("shards=%d: refresh counters never moved (scans=%d resets=%d)",
+				shards, wantFlash.RetentionScans, wantFlash.DisturbResets)
+		}
+
+		// Merge is a commutative monoid over the live samples: identity
+		// and order-independence, so shard numbering cannot change a
+		// merged report.
+		for i, st := range perShardFault {
+			var z fault.Stats
+			z.Merge(st)
+			if z != st {
+				t.Fatalf("shards=%d: zero.Merge(shard %d fault stats) != itself", shards, i)
+			}
+		}
+		for i, st := range perShardFlash {
+			var z core.Stats
+			z.Merge(st)
+			if z != st {
+				t.Fatalf("shards=%d: zero.Merge(shard %d flash stats) != itself", shards, i)
+			}
+		}
+		var fwd, rev fault.Stats
+		var fwdF, revF core.Stats
+		for i := range perShardFault {
+			fwd.Merge(perShardFault[i])
+			fwdF.Merge(perShardFlash[i])
+			rev.Merge(perShardFault[len(perShardFault)-1-i])
+			revF.Merge(perShardFlash[len(perShardFlash)-1-i])
+		}
+		if fwd != rev {
+			t.Fatalf("shards=%d: fault Merge is order-dependent", shards)
+		}
+		if fwdF != revF {
+			t.Fatalf("shards=%d: flash Merge is order-dependent", shards)
+		}
+	}
+}

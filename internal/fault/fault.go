@@ -125,6 +125,37 @@ func (in *Injector) Stats() Stats {
 	return in.stats
 }
 
+// InjectorState is the restorable mid-campaign state of an Injector:
+// the RNG stream position, the operation counter (burst phase), and
+// the counters. The Plan itself is not carried — a restore target is
+// built from the same configuration, and a state applied to a
+// different plan would silently change the campaign.
+type InjectorState struct {
+	RNG   sim.RNGState
+	Ops   uint64
+	Stats Stats
+}
+
+// Checkpoint captures the injector state. A nil injector checkpoints
+// to the zero state.
+func (in *Injector) Checkpoint() InjectorState {
+	if in == nil {
+		return InjectorState{}
+	}
+	return InjectorState{RNG: in.rng.State(), Ops: in.ops, Stats: in.stats}
+}
+
+// Restore overwrites the injector's stream position and counters with
+// a checkpoint taken from an injector running the same plan.
+func (in *Injector) Restore(st InjectorState) error {
+	if err := in.rng.SetState(st.RNG); err != nil {
+		return err
+	}
+	in.ops = st.Ops
+	in.stats = st.Stats
+	return nil
+}
+
 // factor returns the rate multiplier for the current operation and
 // advances the operation counter.
 func (in *Injector) factor() float64 {

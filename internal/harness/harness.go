@@ -22,6 +22,7 @@ import (
 	"flashdc/internal/model"
 	"flashdc/internal/sim"
 	"flashdc/internal/trace"
+	"flashdc/internal/wear"
 )
 
 // Config describes one lockstep run. The zero value is not usable;
@@ -57,6 +58,13 @@ type Config struct {
 	// ScrubEvery/ScrubPeriod configure the background scrubber.
 	ScrubEvery  int
 	ScrubPeriod sim.Duration
+	// Retention/Disturb enable the reliability-realism error
+	// processes; RefreshThreshold tunes the scrubber's refresh policy
+	// under them. Both processes are deterministic, and the model's
+	// Flash may-serve over-approximation tolerates the pages they cost.
+	Retention        wear.RetentionParams
+	Disturb          wear.DisturbParams
+	RefreshThreshold float64
 }
 
 // Default returns a small, fast, fault-free configuration.
@@ -88,6 +96,9 @@ func hierConfig(cfg Config) hier.Config {
 		fc.Faults = cfg.Faults
 		fc.ScrubEvery = cfg.ScrubEvery
 		fc.ScrubPeriod = cfg.ScrubPeriod
+		fc.Retention = cfg.Retention
+		fc.Disturb = cfg.Disturb
+		fc.RefreshThreshold = cfg.RefreshThreshold
 		hc.Flash = fc
 	}
 	return hc

@@ -8,6 +8,7 @@ import (
 	"flashdc/internal/fault"
 	"flashdc/internal/sim"
 	"flashdc/internal/trace"
+	"flashdc/internal/wear"
 )
 
 // sweepConfigs is the CI lockstep matrix: seeds, fault campaigns,
@@ -67,6 +68,25 @@ func sweepConfigs() []Config {
 			c.Shards = 8
 			c.Faults = heavyFaults
 			c.FootprintPages = 8192
+		}),
+		mk("retention-disturb-refresh", 9, func(c *Config) {
+			// Aggressive acceleration so both processes actually fire
+			// within the op budget (the hierarchy clock advances only by
+			// op latencies here): these knobs measurably produce refresh
+			// rewrites AND disturb resets at 30k ops. The refresh policy
+			// must keep the system and model in agreement while defending.
+			c.Retention = wear.RetentionParams{Accel: 1e8}
+			c.Disturb = wear.DisturbParams{ReadsPerBit: 50}
+			c.ScrubEvery = 500
+			c.RefreshThreshold = 0.75
+		}),
+		mk("sharded-4-retention-faulty", 10, func(c *Config) {
+			c.Shards = 4
+			c.Retention = wear.RetentionParams{Accel: 1e8}
+			c.Disturb = wear.DisturbParams{ReadsPerBit: 50}
+			c.ScrubEvery = 500
+			c.RefreshThreshold = 0.75
+			c.Faults = burstFaults
 		}),
 	}
 }

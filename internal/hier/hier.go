@@ -198,6 +198,11 @@ func New(cfg Config) *System {
 		s.flash = flash
 		if cfg.FlashContention {
 			s.flash.AttachClock(&s.clock)
+		} else {
+			// The device always observes the simulated clock so
+			// retention dwell is stamped in simulated time; full
+			// contention modelling stays opt-in.
+			s.flash.AttachTimeBase(&s.clock)
 		}
 	}
 	s.compose()

@@ -125,6 +125,11 @@ func (t *dramTier) Stats() TierStats {
 
 func (t *dramTier) resetTierStats() { t.st = TierStats{} }
 
+func (t *dramTier) restoreTierStats(st TierStats) {
+	st.Name = ""
+	t.st = st
+}
+
 // flashTier adapts the Flash secondary disk cache. Fills and writes
 // run in the background (zero foreground latency); the cache flushes
 // its own dirty evictions to its backing store.
@@ -166,6 +171,11 @@ func (t *flashTier) Stats() TierStats {
 
 func (t *flashTier) resetTierStats() { t.st = TierStats{} }
 
+func (t *flashTier) restoreTierStats(st TierStats) {
+	st.Name = ""
+	t.st = st
+}
+
 // diskTier adapts the drive model as the chain's bottom tier: every
 // read hits and invalidation is meaningless (the disk is the home of
 // every page).
@@ -196,3 +206,8 @@ func (t *diskTier) Stats() TierStats {
 }
 
 func (t *diskTier) resetTierStats() { t.st = TierStats{} }
+
+func (t *diskTier) restoreTierStats(st TierStats) {
+	st.Name = ""
+	t.st = st
+}

@@ -95,6 +95,14 @@ type Config struct {
 	// experiments run in reasonable simulated volume. 0 means 1
 	// (real time).
 	WearAcceleration float64
+	// Retention parameterises the retention-loss error process: pages
+	// accumulate flips while they dwell programmed, measured against
+	// the clock attached with AttachClock. The zero value disables it.
+	Retention wear.RetentionParams
+	// Disturb parameterises the read-disturb error process: block
+	// reads add flips to the block's pages until the next erase. The
+	// zero value disables it.
+	Disturb wear.DisturbParams
 	// Faults, when non-nil, is consulted on every Read, Program and
 	// Erase to inject transient flips and operation failures.
 	Faults *fault.Injector
@@ -151,6 +159,10 @@ type slotState struct {
 	programmed [2]bool
 	data       [2]uint64
 	wear       wear.PageWear
+	// programmedAt is the simulated time each sub-page was last
+	// programmed — the retention dwell clock. Meaningful only while
+	// the sub-page is programmed and a clock is attached.
+	programmedAt [2]sim.Time
 	// payload holds real page contents when ProgramPage is used;
 	// nil for token-only (trace-driven) pages.
 	payload *[2]PageBuf
@@ -159,7 +171,10 @@ type slotState struct {
 type blockState struct {
 	slots      []slotState
 	eraseCount int
-	retired    bool
+	// reads counts page reads served by this block since its last
+	// erase — the read-disturb stress counter, cleared on erase.
+	reads   int64
+	retired bool
 	// factoryBad marks a block bad from birth (shipped bad-block list).
 	factoryBad bool
 	// grownBad marks a block whose program/erase failure was
@@ -200,6 +215,10 @@ type Device struct {
 	model  *wear.Model
 	blocks []blockState
 	stats  Stats
+	// clock, when attached, timestamps programs so the retention
+	// process can measure dwell. A clockless device never sees
+	// retention errors (dwell stays zero).
+	clock *sim.Clock
 }
 
 // New builds a device. It panics if the configuration is degenerate;
@@ -241,6 +260,24 @@ func New(cfg Config) *Device {
 	}
 	return d
 }
+
+// AttachClock gives the device a simulated time base for retention
+// dwell accounting. Programs performed before a clock is attached (or
+// with none) dwell at the epoch.
+func (d *Device) AttachClock(c *sim.Clock) { d.clock = c }
+
+// now returns the current simulated time, or the epoch when no clock
+// is attached.
+func (d *Device) now() sim.Time {
+	if d.clock == nil {
+		return 0
+	}
+	return d.clock.Now()
+}
+
+// BlockReads returns the read-disturb stress counter of block b: page
+// reads served since its last erase.
+func (d *Device) BlockReads(b int) int64 { return d.blocks[b].reads }
 
 // FaultInjector returns the attached fault injector (nil when the
 // device runs fault-free).
@@ -339,17 +376,54 @@ func (d *Device) Read(a Addr) (ReadResult, error) {
 	d.stats.Reads++
 	d.stats.ReadTime += lat
 	injected := d.cfg.Faults.ReadFlips(a.Block)
-	return ReadResult{
+	res := ReadResult{
 		Data:      sl.data[a.Sub],
-		BitErrors: sl.wear.FailedBits(float64(blk.eraseCount)*d.cfg.WearAcceleration, sl.mode) + injected,
+		BitErrors: d.organicBits(blk, sl, a.Sub) + injected,
 		Injected:  injected,
 		Latency:   lat,
-	}, nil
+	}
+	// This read disturbs the block's pages from the next read on; a
+	// read never counts against itself.
+	blk.reads++
+	return res, nil
 }
 
-// BitErrors returns the current worn-bit count of a page without
-// performing (or charging for) a read.
+// organicBits returns the deterministic error count of a page: wear
+// plus retention loss plus accumulated read disturb. Unlike injected
+// flips these do not re-sample per read, so retries cannot clear them
+// — only a rewrite (retention, disturb) or reconfiguration (wear)
+// helps, which is exactly what the refresh policy exploits.
+func (d *Device) organicBits(blk *blockState, sl *slotState, sub int) int {
+	cycles := float64(blk.eraseCount) * d.cfg.WearAcceleration
+	bits := sl.wear.FailedBits(cycles, sl.mode)
+	if d.cfg.Retention.Enabled() && sl.programmed[sub] {
+		bits += d.cfg.Retention.Bits(d.now().Sub(sl.programmedAt[sub]), cycles, sl.mode)
+	}
+	if d.cfg.Disturb.Enabled() {
+		bits += d.cfg.Disturb.Bits(blk.reads, cycles, sl.mode)
+	}
+	if bits > wear.CellsPerPage {
+		bits = wear.CellsPerPage
+	}
+	return bits
+}
+
+// BitErrors returns the current deterministic error count of a page —
+// wear, retention and read disturb combined — without performing (or
+// charging for) a read. This is the scrubber's prediction surface.
 func (d *Device) BitErrors(a Addr) int {
+	blk, sl, err := d.slot(a)
+	if err != nil {
+		panic(err)
+	}
+	return d.organicBits(blk, sl, a.Sub)
+}
+
+// WearBitErrors returns only the write/erase wear share of a page's
+// error count, excluding retention and disturb. The refresh policy
+// compares it against BitErrors to tell damage that needs a stronger
+// configuration (wear) from damage a plain rewrite cures.
+func (d *Device) WearBitErrors(a Addr) int {
 	blk, sl, err := d.slot(a)
 	if err != nil {
 		panic(err)
@@ -386,10 +460,12 @@ func (d *Device) Program(a Addr, data uint64) (sim.Duration, error) {
 		// valid data. The controller must remap elsewhere.
 		sl.programmed[a.Sub] = true
 		sl.data[a.Sub] = 0
+		sl.programmedAt[a.Sub] = d.now()
 		return lat, fmt.Errorf("%w: %v", ErrProgramFailed, a)
 	}
 	sl.programmed[a.Sub] = true
 	sl.data[a.Sub] = data
+	sl.programmedAt[a.Sub] = d.now()
 	return lat, nil
 }
 
@@ -466,9 +542,13 @@ func (d *Device) Erase(b int) (sim.Duration, error) {
 		sl.programmed[1] = false
 		sl.data[0] = 0
 		sl.data[1] = 0
+		sl.programmedAt[0] = 0
+		sl.programmedAt[1] = 0
 		sl.payload = nil
 	}
 	blk.eraseCount++
+	// Erasing re-programs every cell, clearing accumulated disturb.
+	blk.reads = 0
 	return lat, nil
 }
 

@@ -43,6 +43,15 @@ const (
 	// KindScrubMigrate is a background-scrubber rescue of an at-risk
 	// page.
 	KindScrubMigrate Kind = "scrub_migrate"
+	// KindRetentionScan is one predictive scrub increment run with
+	// retention or read disturb enabled (N pages examined).
+	KindRetentionScan Kind = "retention_scan"
+	// KindRefreshRewrite is a refresh-policy rewrite of a healthy page
+	// whose predicted retention+disturb errors approached capability.
+	KindRefreshRewrite Kind = "refresh_rewrite"
+	// KindDisturbReset marks an erase clearing Block's accumulated
+	// read-disturb stress (N reads since the previous erase).
+	KindDisturbReset Kind = "disturb_reset"
 	// KindShardMerge marks one shard's results folding into the merged
 	// report (N is the shard's request count; Block is -1).
 	KindShardMerge Kind = "shard_merge"

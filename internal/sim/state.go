@@ -1,0 +1,76 @@
+package sim
+
+import "fmt"
+
+// This file is the checkpoint surface of the simulation substrate: the
+// pieces of otherwise-private state (generator streams, latency
+// profiles) a resumable campaign must carry across process restarts.
+// Every snapshot type uses only exported fields of fixed-width types so
+// it can ride inside a gob-encoded checkpoint envelope byte-for-byte
+// deterministically.
+
+// RNGState is a complete snapshot of an RNG: the xoshiro256** word
+// state plus the cached Box-Muller variate, so a restored generator
+// continues the exact stream (including a pending second normal draw).
+type RNGState struct {
+	S        [4]uint64
+	HasGauss bool
+	Gauss    float64
+}
+
+// State captures the generator for checkpointing.
+func (r *RNG) State() RNGState {
+	return RNGState{S: r.s, HasGauss: r.hasGauss, Gauss: r.gauss}
+}
+
+// SetState restores a snapshot taken with State. A snapshot with an
+// all-zero word state is rejected: xoshiro256** would be stuck at zero
+// forever, and no Seed can produce it, so it marks a corrupt or
+// hand-rolled checkpoint.
+func (r *RNG) SetState(st RNGState) error {
+	if st.S == [4]uint64{} {
+		return fmt.Errorf("sim: RNG state is all zero")
+	}
+	r.s = st.S
+	r.hasGauss = st.HasGauss
+	r.gauss = st.Gauss
+	return nil
+}
+
+// HistogramState is a complete snapshot of a Histogram.
+type HistogramState struct {
+	Counts []uint64
+	Total  uint64
+	Sum    Duration
+	Min    Duration
+	Max    Duration
+}
+
+// State captures the histogram for checkpointing. The returned bucket
+// slice is a copy; mutating it does not disturb the histogram.
+func (h *Histogram) State() HistogramState {
+	st := HistogramState{Total: h.total, Sum: h.sum, Min: h.min, Max: h.max}
+	if len(h.counts) > 0 {
+		st.Counts = append([]uint64(nil), h.counts...)
+	}
+	return st
+}
+
+// SetState restores a snapshot taken with State. The snapshot's bucket
+// counts must sum to its total; anything else marks a corrupt
+// checkpoint.
+func (h *Histogram) SetState(st HistogramState) error {
+	var n uint64
+	for _, c := range st.Counts {
+		n += c
+	}
+	if n != st.Total {
+		return fmt.Errorf("sim: histogram counts sum to %d, total says %d", n, st.Total)
+	}
+	h.counts = append([]uint64(nil), st.Counts...)
+	h.total = st.Total
+	h.sum = st.Sum
+	h.min = st.Min
+	h.max = st.Max
+	return nil
+}
