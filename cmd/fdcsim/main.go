@@ -53,6 +53,7 @@ import (
 	"flashdc/internal/hier"
 	"flashdc/internal/nand"
 	"flashdc/internal/obs"
+	"flashdc/internal/policy"
 	"flashdc/internal/power"
 	"flashdc/internal/server"
 	"flashdc/internal/sim"
@@ -176,6 +177,11 @@ func main() {
 		shards       = flag.Int("shards", 1, "hash-partition the LBA space across N independent shards")
 		workers      = flag.Int("workers", 0, "concurrent shard replay goroutines (0 = one per shard)")
 
+		policyEvict  = flag.String("policy-evict", "", "flash eviction policy (default "+policy.DefaultName(policy.KindEvict)+"; see -list-policies)")
+		policyAdmit  = flag.String("policy-admit", "", "flash admission policy (default "+policy.DefaultName(policy.KindAdmit)+"; see -list-policies)")
+		policyGC     = flag.String("policy-gc", "", "GC victim-selection policy (default "+policy.DefaultName(policy.KindGC)+"; see -list-policies)")
+		listPolicies = flag.Bool("list-policies", false, "list the registered cache policies and exit")
+
 		retentionAccel = flag.Float64("retention-accel", 0, "retention-loss acceleration factor over the 10-year spec dwell (0 disables)")
 		disturbReads   = flag.Float64("disturb-reads", 0, "sibling reads per correctable read-disturb bit error (0 disables)")
 		refreshThresh  = flag.Float64("refresh-threshold", 0, "fraction of ECC capability at which the scrubber refreshes a page (0 = 1.0)")
@@ -189,6 +195,14 @@ func main() {
 		httpAddr    = flag.String("http", "", "serve live Prometheus text at /metrics and pprof at /debug/pprof/ on this address")
 	)
 	flag.Parse()
+
+	if *listPolicies {
+		for _, kind := range policy.Kinds() {
+			names := policy.Names(kind)
+			fmt.Printf("%-6s %s (default %s)\n", kind, strings.Join(names, ", "), policy.DefaultName(kind))
+		}
+		return
+	}
 
 	// Validate the whole flag set up front: every rejection below is a
 	// usage error reported before any simulation state is built, so a
@@ -235,6 +249,13 @@ func main() {
 			usageErr("-faults %q provides no fault rates; set at least one of read/program/erase/grown/bad", *faultSpec)
 		}
 	}
+	pset := policy.Set{Evict: *policyEvict, Admit: *policyAdmit, GC: *policyGC}
+	if err := pset.Validate(); err != nil {
+		usageErr("%v", err)
+	}
+	if flash == 0 && !pset.IsDefault() {
+		usageErr("-policy-evict/-policy-admit/-policy-gc select Flash cache policies; -flash 0 builds no Flash tier")
+	}
 
 	fc := core.DefaultConfig(flash)
 	fc.Split = !*unified
@@ -244,6 +265,7 @@ func main() {
 	fc.Retention = wear.RetentionParams{Accel: *retentionAccel}
 	fc.Disturb = wear.DisturbParams{ReadsPerBit: *disturbReads}
 	fc.RefreshThreshold = *refreshThresh
+	fc.Policies = pset
 	if *faultSpec != "" {
 		plan, err := parseFaults(*faultSpec)
 		die(err)
@@ -278,6 +300,13 @@ func main() {
 		*workloadName, *scale, dram, flash, *seed, *unified, !*noProg,
 		*wearAccel, *faultSpec, *scrubEvery, *shards,
 		*retentionAccel, *disturbReads, *refreshThresh)
+	if !pset.IsDefault() {
+		// Appended only for non-default selections, so checkpoints taken
+		// before the policy framework existed keep resuming.
+		n := pset.Normalized()
+		fingerprint += fmt.Sprintf(" policy-evict=%s policy-admit=%s policy-gc=%s",
+			n.Evict, n.Admit, n.GC)
+	}
 
 	// Build the simulator. Both arms yield the same driving surface;
 	// everything below this block is shared. Checkpointing always
@@ -446,6 +475,13 @@ func main() {
 	if sys.HasFlash() {
 		cs := sys.FlashStats()
 		gl := sys.Global()
+		if !pset.IsDefault() {
+			// Printed only under non-default policies: the default report
+			// stays byte-identical to the pre-framework output.
+			fmt.Printf("policies:          %s\n", pset)
+			fmt.Printf("admission:         %d fills rejected, %d write-arounds\n",
+				cs.AdmitRejects, cs.WriteArounds)
+		}
 		fmt.Printf("flash miss rate:   %.4f\n", cs.MissRate())
 		fmt.Printf("flash GC:          %d runs, %d relocations, %v background time\n",
 			cs.GCRuns, cs.GCRelocations, cs.GCTime)

@@ -265,22 +265,9 @@ func WithObserver(o *Observer) OpenCacheOption { return core.WithObserver(o) }
 // (the paper's tables are sourced from disk at run time, section 3).
 // Without WithRecovery a truncated or corrupted image is rejected with
 // an error wrapping ErrCorruptMetadata and the cache is nil; with it a
-// rejected image cold-starts and the report says why. It subsumes
-// NewCache, LoadCacheMetadata and RecoverCacheMetadata.
+// rejected image cold-starts and the report says why.
 func OpenCache(cfg CacheConfig, r io.Reader, opts ...OpenCacheOption) (*Cache, RecoveryReport, error) {
 	return core.Open(cfg, r, opts...)
-}
-
-// LoadCacheMetadata rebuilds a cache from a metadata image written by
-// Cache.SaveMetadata, restoring the Flash contents and wear state (the
-// paper's tables are sourced from disk at run time, section 3). A
-// truncated or corrupted image is rejected with an error wrapping
-// ErrCorruptMetadata.
-//
-// Deprecated: use OpenCache(cfg, r).
-func LoadCacheMetadata(cfg CacheConfig, r io.Reader) (*Cache, error) {
-	c, _, err := core.Open(cfg, r)
-	return c, err
 }
 
 // Fault injection and recovery API.
@@ -291,24 +278,14 @@ type (
 	FaultPlan = fault.Plan
 	// FaultStats counts the faults an injector delivered.
 	FaultStats = fault.Stats
-	// RecoveryReport describes how RecoverCacheMetadata brought a
-	// cache back (clean load vs. cold start).
+	// RecoveryReport describes how OpenCache brought a cache back
+	// (clean load vs. cold start).
 	RecoveryReport = core.RecoveryReport
 )
 
 // ErrCorruptMetadata tags every corruption-class metadata load
 // failure; test with errors.Is.
 var ErrCorruptMetadata = core.ErrCorruptMetadata
-
-// RecoverCacheMetadata is the crash-tolerant LoadCacheMetadata: a
-// rejected image yields a usable cold-started cache plus a report
-// instead of an error.
-//
-// Deprecated: use OpenCache(cfg, r, WithRecovery()).
-func RecoverCacheMetadata(cfg CacheConfig, r io.Reader) (*Cache, RecoveryReport) {
-	c, rep, _ := core.Open(cfg, r, core.WithRecovery())
-	return c, rep
-}
 
 // Observability API: a deterministic metrics registry plus decision-
 // event tracing, timestamped in simulated time (see internal/obs).

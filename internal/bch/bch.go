@@ -204,16 +204,6 @@ func (c *Code) encodeStepBit(rem []uint64, bit int) {
 	}
 }
 
-// Syndromes computes the 2t syndromes of the received word (data ++
-// parity). Index j of the result holds S_{j+1} = r(alpha^{j+1}). A
-// zero slice means the word is a valid codeword.
-//
-// Deprecated: Syndromes allocates its result on every call. Use
-// AppendSyndromes, which appends into a caller-owned buffer.
-func (c *Code) Syndromes(data, parity []byte) []uint16 {
-	return c.AppendSyndromes(nil, data, parity)
-}
-
 // SyndromesBitSerial is the original per-set-bit syndrome computation
 // — 2t field exponentiations per one bit of the received word — kept
 // as the differential-test reference for the Horner-form

@@ -202,10 +202,11 @@ func TestSyndromesZeroForCodeword(t *testing.T) {
 			data[i] = byte(rng.Uint64())
 		}
 		// Mask bits beyond dataBits in the last byte: Encode ignores
-		// them but Syndromes would read them as codeword bits.
+		// them but the syndrome computation would read them as
+		// codeword bits.
 		data[12] &= 0x0F
 		parity := c.Encode(data)
-		for _, s := range c.Syndromes(data, parity) {
+		for _, s := range c.AppendSyndromes(nil, data, parity) {
 			if s != 0 {
 				return false
 			}

@@ -96,10 +96,6 @@ func TestAppendSyndromesMatchesBitSerial(t *testing.T) {
 						t.Fatalf("nErr=%d: S_%d = %#x, reference %#x", nErr, i+1, got[i], want[i])
 					}
 				}
-				// Deprecated allocating wrapper stays equivalent.
-				if legacy := c.Syndromes(data, parity); len(legacy) != len(want) {
-					t.Fatalf("Syndromes wrapper returned %d values, want %d", len(legacy), len(want))
-				}
 			}
 		})
 	}

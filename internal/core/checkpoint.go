@@ -5,6 +5,7 @@ import (
 
 	"flashdc/internal/fault"
 	"flashdc/internal/nand"
+	"flashdc/internal/policy"
 	"flashdc/internal/sim"
 	"flashdc/internal/tables"
 )
@@ -73,6 +74,13 @@ type CacheCheckpoint struct {
 	// HasInjector false records that the run had no injector.
 	Injector    fault.InjectorState
 	HasInjector bool
+
+	// AdmitState is the admission policy's filter state in canonical
+	// (LBA-sorted, map-free) form, so checkpoint bytes are a pure
+	// function of simulation history. Empty under the default paper
+	// admission; restoring a non-empty state into a cache configured
+	// with the paper policy is rejected as a configuration mismatch.
+	AdmitState []policy.AdmitEntry
 }
 
 // Checkpoint captures the cache's complete state. The cache must be
@@ -112,6 +120,7 @@ func (c *Cache) Checkpoint() (*CacheCheckpoint, error) {
 		ck.Injector = inj.Checkpoint()
 		ck.HasInjector = true
 	}
+	ck.AdmitState = c.admitPol.checkpoint()
 	for b := range c.meta {
 		ck.Pages[b] = make([]([2]tables.PageStatus), nand.SlotsPerBlock)
 		for s := 0; s < nand.SlotsPerBlock; s++ {
@@ -178,6 +187,9 @@ func (c *Cache) Restore(ck *CacheCheckpoint) error {
 		if err := inj.Restore(ck.Injector); err != nil {
 			return fmt.Errorf("core: restoring fault injector: %w", err)
 		}
+	}
+	if err := c.admitPol.restore(ck.AdmitState); err != nil {
+		return fmt.Errorf("core: restoring admission policy state: %w", err)
 	}
 
 	c.fcht = tables.NewFCHT()

@@ -23,6 +23,7 @@ import (
 	"flashdc/internal/fault"
 	"flashdc/internal/nand"
 	"flashdc/internal/obs"
+	"flashdc/internal/policy"
 	"flashdc/internal/sim"
 	"flashdc/internal/tables"
 	"flashdc/internal/wear"
@@ -141,6 +142,12 @@ type Config struct {
 	// reads add flips to sibling pages until the block is erased. The
 	// zero value disables the process.
 	Disturb wear.DisturbParams
+	// Policies selects the eviction, admission, and GC victim-
+	// selection implementations (see internal/policy and policy.go in
+	// this package). The zero value is the paper's behaviour; unknown
+	// names panic in New — validate user input with policy.Set.Validate
+	// before building a cache.
+	Policies policy.Set
 	// RefreshThreshold tunes the scrubber's refresh policy when
 	// Retention or Disturb is enabled: a valid page whose predicted
 	// total error count (wear + retention + disturb) reaches this
@@ -234,6 +241,13 @@ type Stats struct {
 	// DisturbResets the block erases that cleared a nonzero
 	// read-disturb counter.
 	RetentionScans, RefreshRewrites, DisturbResets int64
+
+	// Admission-policy activity (nonzero only under non-default
+	// admission). AdmitRejects counts read-miss fills the policy kept
+	// out of the read region; WriteArounds the dirty write-backs it
+	// routed straight to the backing store instead of the write
+	// region.
+	AdmitRejects, WriteArounds int64
 }
 
 // Merge adds other's counters into s, combining the activity of
@@ -266,6 +280,8 @@ func (s *Stats) Merge(other Stats) {
 	s.RetentionScans += other.RetentionScans
 	s.RefreshRewrites += other.RefreshRewrites
 	s.DisturbResets += other.DisturbResets
+	s.AdmitRejects += other.AdmitRejects
+	s.WriteArounds += other.WriteArounds
 }
 
 // MissRate returns read misses over read lookups.
@@ -288,6 +304,13 @@ type Cache struct {
 	regions []*region
 	meta    []blockMeta
 	stats   Stats
+	// The pluggable policy decision points (see policy.go): victim
+	// selection for capacity eviction, fill/write-back admission, and
+	// GC victim selection. Built once in New from cfg.Policies; the
+	// defaults reproduce the paper's welded-in behaviour exactly.
+	evictPol evictPolicy
+	admitPol admitPolicy
+	gcPol    gcPolicy
 	// seq is a logical access clock for frequency estimation.
 	seq uint64
 	// gcCheck amortises the read-region watermark scan.
@@ -399,6 +422,10 @@ func New(cfg Config) *Cache {
 	if cfg.RefreshThreshold < 0 || cfg.RefreshThreshold > 1 {
 		panic(fmt.Sprintf("core: refresh threshold %v outside (0,1]", cfg.RefreshThreshold))
 	}
+	if err := cfg.Policies.Validate(); err != nil {
+		panic(err)
+	}
+	cfg.Policies = cfg.Policies.Normalized()
 
 	blocks := nand.BlocksForCapacity(cfg.FlashBytes, cfg.InitialMode)
 	if blocks < 4 {
@@ -431,6 +458,7 @@ func New(cfg Config) *Cache {
 		meta:         make([]blockMeta, blocks),
 		marginalFreq: -1,
 	}
+	c.evictPol, c.admitPol, c.gcPol = newPolicies(cfg.Policies)
 	if cfg.Backing == nil {
 		c.cfg.Backing = &discard{}
 	}
@@ -491,6 +519,9 @@ func (c *Cache) markFactoryBad(b int) bool {
 
 // Stats returns a copy of the cache counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// Policies returns the normalized policy selection the cache runs.
+func (c *Cache) Policies() policy.Set { return c.cfg.Policies }
 
 // DeviceStats returns the underlying Flash operation counters.
 func (c *Cache) DeviceStats() nand.Stats { return c.dev.Stats() }

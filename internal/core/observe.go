@@ -49,6 +49,8 @@ func (c *Cache) AttachObserver(o *obs.Observer) {
 		s.Counter("cache_retention_scans_total", st.RetentionScans)
 		s.Counter("cache_refresh_rewrites_total", st.RefreshRewrites)
 		s.Counter("cache_disturb_resets_total", st.DisturbResets)
+		s.Counter("cache_admit_rejects_total", st.AdmitRejects)
+		s.Counter("cache_write_arounds_total", st.WriteArounds)
 		s.Counter("cache_ecc_reconfigs_total", c.fgst.ECCReconfigs)
 		s.Counter("cache_density_reconfigs_total", c.fgst.DensityReconfigs)
 		s.Gauge("cache_valid_pages", float64(c.totalValid))
@@ -154,5 +156,17 @@ func (c *Cache) eventRefreshRewrite(block int, lba int64) {
 func (c *Cache) eventDisturbReset(block int, reads int64) {
 	if c.obs != nil {
 		c.obs.Event(obs.Event{Kind: obs.KindDisturbReset, Block: block, N: reads})
+	}
+}
+
+func (c *Cache) eventAdmitReject(lba int64) {
+	if c.obs != nil {
+		c.obs.Event(obs.Event{Kind: obs.KindAdmitReject, Block: -1, LBA: lba})
+	}
+}
+
+func (c *Cache) eventWriteAround(lba int64) {
+	if c.obs != nil {
+		c.obs.Event(obs.Event{Kind: obs.KindWriteAround, Block: -1, LBA: lba})
 	}
 }

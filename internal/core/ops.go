@@ -25,6 +25,11 @@ type ReadOutcome struct {
 // promotion). On a miss (including an uncorrectable page) the caller
 // must fetch from disk and Insert.
 func (c *Cache) Read(lba int64) ReadOutcome {
+	// The admission policy observes every lookup unconditionally
+	// (before the dead check): the reference model replays the same
+	// sequence against its own filter, so the two must never skip
+	// different calls.
+	c.admitPol.noteRead(lba)
 	c.seq++
 	c.stats.Reads++
 	c.pumpEvents()
@@ -163,6 +168,14 @@ func (c *Cache) Insert(lba int64) sim.Duration {
 		c.touch(addr.Block)
 		return 0
 	}
+	if !c.admitPol.admitFill(lba) {
+		// The policy keeps the page out (e.g. WLFC's first touch): the
+		// read was already served from disk, so rejecting costs
+		// nothing now and saves the program if the page never returns.
+		c.stats.AdmitRejects++
+		c.eventAdmitReject(lba)
+		return 0
+	}
 	c.stats.Fills++
 	r := c.regions[readRegion]
 	addr, lat := c.allocProgram(r, c.allocMode(), lba)
@@ -193,6 +206,19 @@ func (c *Cache) Write(lba int64) sim.Duration {
 	}
 	if addr, ok := c.fcht.Get(lba); ok {
 		c.invalidate(addr)
+	}
+	if !c.admitPol.admitWriteback(lba) {
+		// Write-around (WLFC's lazy write-back): the stale Flash copy
+		// is already invalidated above, the dirty page goes straight
+		// to disk, and the write region never pays the program or the
+		// GC traffic behind it. Background maintenance still runs on
+		// the host-operation cadence.
+		c.stats.WriteArounds++
+		c.eventWriteAround(lba)
+		lat := c.cfg.Backing.WritePage(lba)
+		c.maybeGC()
+		c.maybeScrub()
+		return lat
 	}
 	r := c.regions[c.writeRegionIndex()]
 	addr, lat := c.allocProgram(r, c.allocMode(), lba)

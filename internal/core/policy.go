@@ -1,0 +1,271 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+
+	"flashdc/internal/policy"
+)
+
+// The three policy decision points of the cache, behind small
+// interfaces so competitors from the related work can race the paper's
+// behaviour without touching the mechanism code (reclaim, allocation,
+// write-back plumbing). The implementations live here because victim
+// selection needs the cache's region LRU lists and per-block metadata;
+// the name registry and the shared admission filter live in
+// internal/policy so configuration surfaces and the reference model
+// can use them without importing core.
+//
+// Hot-path contract: every implementation is allocation-free. The
+// default implementations reproduce the pre-framework behaviour
+// exactly — with a default policy.Set, simulation output is
+// bit-identical to the welded-in code they were extracted from.
+
+// evictPolicy picks the block a full region evicts.
+type evictPolicy interface {
+	// victim returns the LRU-list element of the block to evict, or
+	// nil when the region has no active blocks.
+	victim(c *Cache, r *region) *list.Element
+	// rotate reports whether the section 3.6 wear-rotation migration
+	// runs after erases (the wear-lru policy's second half).
+	rotate() bool
+}
+
+// admitPolicy decides what enters the Flash cache and when dirty data
+// writes back through it.
+type admitPolicy interface {
+	// noteRead observes one flash-tier read lookup. Called on every
+	// Read, hit or miss, dead or alive — the reference model replays
+	// the identical sequence against its own filter.
+	noteRead(lba int64)
+	// admitFill gates a read-miss fill into the read region.
+	admitFill(lba int64) bool
+	// admitWriteback gates a dirty write-back into the write region;
+	// a false verdict sends the page straight to the backing store.
+	admitWriteback(lba int64) bool
+	// checkpoint / restore round-trip the policy's state through the
+	// campaign checkpoint (canonical, map-free form).
+	checkpoint() []policy.AdmitEntry
+	restore(entries []policy.AdmitEntry) error
+}
+
+// gcPolicy picks the background-collection victim.
+type gcPolicy interface {
+	// victim returns the LRU-list element of the block to collect and
+	// its invalid-page count, or nil when no block is worth
+	// collecting. force marks the watermark trigger, which collects
+	// even low-payoff blocks.
+	victim(c *Cache, r *region, force bool) (*list.Element, int)
+}
+
+// newPolicies instantiates the configured implementations. The set
+// must already be normalized and validated (New does both).
+func newPolicies(s policy.Set) (evictPolicy, admitPolicy, gcPolicy) {
+	var ev evictPolicy
+	switch s.Evict {
+	case policy.EvictWearLRU:
+		ev = wearLRUEvict{}
+	case policy.EvictCMWear:
+		ev = cmWearEvict{window: cmWearWindow}
+	default:
+		panic(fmt.Sprintf("core: unregistered evict policy %q", s.Evict))
+	}
+	var ad admitPolicy
+	switch s.Admit {
+	case policy.AdmitPaper:
+		ad = paperAdmit{}
+	case policy.AdmitWLFC:
+		ad = &wlfcAdmit{filter: policy.NewAdmitFilter()}
+	default:
+		panic(fmt.Sprintf("core: unregistered admit policy %q", s.Admit))
+	}
+	var gc gcPolicy
+	switch s.GC {
+	case policy.GCGreedy:
+		gc = greedyGC{}
+	case policy.GCCostBenefit:
+		gc = costBenefitGC{}
+	case policy.GCWindowedGreedy:
+		gc = windowedGreedyGC{window: windowedGCWindow}
+	default:
+		panic(fmt.Sprintf("core: unregistered gc policy %q", s.GC))
+	}
+	return ev, ad, gc
+}
+
+// ---- Eviction ----
+
+// wearLRUEvict is the paper's section 3.6 replacement policy: evict
+// the least recently used block, then let the wear-rotation migration
+// swap a worn victim with the globally newest block.
+type wearLRUEvict struct{}
+
+func (wearLRUEvict) victim(c *Cache, r *region) *list.Element { return r.lru.Back() }
+func (wearLRUEvict) rotate() bool                             { return true }
+
+// cmWearWindow is how deep into the LRU tail the cm-wear policy looks
+// for a young block. Small, so the victim stays cold (Boukhobza et
+// al. keep the recency signal primary and use wear only to break near-
+// ties among cold blocks).
+const cmWearWindow = 4
+
+// cmWearEvict is Boukhobza et al.'s strategy: replacement decisions
+// absorb the wear-leveling job. Among the window least-recently-used
+// blocks the one with the fewest erases is evicted — reuse of young
+// blocks is preferred — and the explicit wear-rotation migrations are
+// disabled, saving their relocation writes.
+type cmWearEvict struct{ window int }
+
+func (p cmWearEvict) victim(c *Cache, r *region) *list.Element {
+	var best *list.Element
+	bestErases := 0
+	n := 0
+	for e := r.lru.Back(); e != nil && n < p.window; e = e.Prev() {
+		b := e.Value.(int)
+		if er := c.fbst.At(b).Erases; best == nil || er < bestErases {
+			best, bestErases = e, er
+		}
+		n++
+	}
+	return best
+}
+func (cmWearEvict) rotate() bool { return false }
+
+// ---- Admission ----
+
+// paperAdmit is the paper's behaviour: everything is admitted.
+type paperAdmit struct{}
+
+func (paperAdmit) noteRead(int64)            {}
+func (paperAdmit) admitFill(int64) bool      { return true }
+func (paperAdmit) admitWriteback(int64) bool { return true }
+
+func (paperAdmit) checkpoint() []policy.AdmitEntry { return nil }
+func (paperAdmit) restore(entries []policy.AdmitEntry) error {
+	if len(entries) != 0 {
+		return fmt.Errorf("core: checkpoint carries admission-filter state but the admit policy is %q", policy.AdmitPaper)
+	}
+	return nil
+}
+
+// wlfcAdmit is WLFC-style write-less admission: a read-miss fill is
+// admitted only once the page has been looked up twice (the filter's
+// second touch proves reuse), and dirty write-backs bypass Flash
+// entirely — the disk absorbs them directly, saving the program and
+// its downstream GC/erase traffic.
+type wlfcAdmit struct{ filter *policy.AdmitFilter }
+
+func (a *wlfcAdmit) noteRead(lba int64)            { a.filter.Touch(lba) }
+func (a *wlfcAdmit) admitFill(lba int64) bool      { return a.filter.Hot(lba) }
+func (a *wlfcAdmit) admitWriteback(int64) bool     { return false }
+func (a *wlfcAdmit) checkpoint() []policy.AdmitEntry { return a.filter.Checkpoint() }
+func (a *wlfcAdmit) restore(entries []policy.AdmitEntry) error {
+	return a.filter.Restore(entries)
+}
+
+// ---- GC victim selection ----
+
+// greedyGC is the paper's collector: the most-invalid block wins, and
+// (unless the watermark forces collection) the victim must be at least
+// half invalid to pay for its relocation traffic.
+type greedyGC struct{}
+
+func (greedyGC) victim(c *Cache, r *region, force bool) (*list.Element, int) {
+	best := -1
+	bestInvalid := 0
+	var bestElem *list.Element
+	for e := r.lru.Back(); e != nil; e = e.Prev() {
+		b := e.Value.(int)
+		m := &c.meta[b]
+		invalid := m.consumed - m.valid
+		if invalid > bestInvalid {
+			best, bestInvalid, bestElem = b, invalid, e
+		}
+	}
+	if best < 0 {
+		return nil, 0
+	}
+	if m := &c.meta[best]; !force && bestInvalid*2 < m.consumed {
+		return nil, 0
+	}
+	return bestElem, bestInvalid
+}
+
+// costBenefitGC maximises the cost-benefit score of the GC survey:
+// benefit/cost = (1-u)/(2u) * age, where u is the victim's valid
+// fraction and age the host accesses since its last erase. Cold,
+// mostly-invalid blocks score highest; a young block must be far
+// emptier than an old one to be picked, which avoids relocating pages
+// that are about to be invalidated anyway. The non-forced minimum-
+// payoff guard is kept: the policies differ in which block they pick,
+// not in when collection is economical at all.
+type costBenefitGC struct{}
+
+func (costBenefitGC) victim(c *Cache, r *region, force bool) (*list.Element, int) {
+	best := -1
+	bestInvalid := 0
+	bestScore := -1.0
+	var bestElem *list.Element
+	for e := r.lru.Back(); e != nil; e = e.Prev() {
+		b := e.Value.(int)
+		m := &c.meta[b]
+		invalid := m.consumed - m.valid
+		if invalid <= 0 {
+			continue
+		}
+		u := float64(m.valid) / float64(m.consumed)
+		age := float64(c.seq - m.lastEraseSeq)
+		var score float64
+		if u == 0 {
+			// Fully invalid: free space at pure erase cost. Ties go to
+			// the least recently used candidate (scanned first).
+			score = math.Inf(1)
+		} else {
+			score = (1 - u) / (2 * u) * age
+		}
+		if score > bestScore {
+			best, bestInvalid, bestScore, bestElem = b, invalid, score, e
+		}
+	}
+	if best < 0 {
+		return nil, 0
+	}
+	if m := &c.meta[best]; !force && bestInvalid*2 < m.consumed {
+		return nil, 0
+	}
+	return bestElem, bestInvalid
+}
+
+// windowedGCWindow is the windowed-greedy window size: the candidate
+// set is the W least-recently-used blocks.
+const windowedGCWindow = 8
+
+// windowedGreedyGC is the windowed variant from the GC survey: greedy
+// victim selection restricted to a window of LRU-tail blocks. The
+// window supplies the age preference (only cold blocks are
+// candidates) while keeping greedy's O(window) scan.
+type windowedGreedyGC struct{ window int }
+
+func (p windowedGreedyGC) victim(c *Cache, r *region, force bool) (*list.Element, int) {
+	best := -1
+	bestInvalid := 0
+	var bestElem *list.Element
+	n := 0
+	for e := r.lru.Back(); e != nil && n < p.window; e = e.Prev() {
+		b := e.Value.(int)
+		m := &c.meta[b]
+		invalid := m.consumed - m.valid
+		if invalid > bestInvalid {
+			best, bestInvalid, bestElem = b, invalid, e
+		}
+		n++
+	}
+	if best < 0 {
+		return nil, 0
+	}
+	if m := &c.meta[best]; !force && bestInvalid*2 < m.consumed {
+		return nil, 0
+	}
+	return bestElem, bestInvalid
+}

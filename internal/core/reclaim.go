@@ -193,7 +193,9 @@ func (c *Cache) reclaim(r *region) {
 			c.stats.GCTime += c.applyStagedAndErase(b)
 			if c.meta[b].state == blockFree {
 				r.addFreeReclaimed(b)
-				c.maybeWearRotate(b)
+				if c.evictPol.rotate() {
+					c.maybeWearRotate(b)
+				}
 			}
 			return
 		}
@@ -205,19 +207,20 @@ func (c *Cache) reclaim(r *region) {
 // recounting it in the population (it never left).
 func (r *region) addFreeReclaimed(b int) { r.free = append(r.free, b) }
 
-// evict removes one block's content to make space, honouring the
-// wear-level aware replacement policy of section 3.6: after the LRU
-// victim is freed, a worn victim swaps roles with the globally newest
-// block (the newest block's content migrates into the victim and the
-// newest block is erased for reuse instead).
+// evict removes one block's content to make space. Victim selection
+// is the eviction policy's call — the default wear-lru policy takes
+// the LRU block and then honours section 3.6: after the victim is
+// freed, a worn victim swaps roles with the globally newest block
+// (the newest block's content migrates into the victim and the newest
+// block is erased for reuse instead).
 func (c *Cache) evict(r *region) {
-	victimElem := r.lru.Back()
+	victimElem := c.evictPol.victim(c, r)
 	if victimElem == nil {
 		// Nothing active: the region is degenerate (all space open or
 		// retired). Close the open block so it becomes evictable.
 		if r.open >= 0 {
 			c.closeOpen(r)
-			victimElem = r.lru.Back()
+			victimElem = c.evictPol.victim(c, r)
 		}
 		if victimElem == nil {
 			c.dead = true
@@ -226,7 +229,7 @@ func (c *Cache) evict(r *region) {
 	}
 	victim := victimElem.Value.(int)
 	c.evictBlock(victim)
-	if c.meta[victim].state == blockFree {
+	if c.evictPol.rotate() && c.meta[victim].state == blockFree {
 		c.maybeWearRotate(victim)
 	}
 }
@@ -443,35 +446,22 @@ func maxStrength(a, b ecc.Strength) ecc.Strength {
 }
 
 // backgroundGC compacts invalid space without blocking the host: it
-// relocates the valid pages of the most-invalid block and erases it.
+// relocates the valid pages of the GC policy's victim and erases it.
 // Runs only when the region has enough free headroom to absorb the
-// relocations, and returns the (background) time spent. Unless force
-// is set, blocks less than half invalid are not worth collecting (the
-// relocation traffic would exceed the space reclaimed); the watermark
-// trigger forces collection because the read region's aggregate
-// capacity is already below target.
+// relocations, and returns the (background) time spent. The default
+// greedy policy picks the most-invalid block and, unless force is
+// set, skips blocks less than half invalid (the relocation traffic
+// would exceed the space reclaimed — the unified cache's scattered
+// invalid pages therefore linger, which is exactly the capacity loss
+// section 3.5 attributes to it); the watermark trigger forces
+// collection because the read region's aggregate capacity is already
+// below target.
 func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
-	best := -1
-	bestInvalid := 0
-	var bestElem *list.Element
-	for e := r.lru.Back(); e != nil; e = e.Prev() {
-		b := e.Value.(int)
-		m := &c.meta[b]
-		invalid := m.consumed - m.valid
-		if invalid > bestInvalid {
-			best, bestInvalid, bestElem = b, invalid, e
-		}
-	}
-	if best < 0 {
+	bestElem, bestInvalid := c.gcPol.victim(c, r, force)
+	if bestElem == nil {
 		return 0
 	}
-	// Collecting a mostly-valid block wastes relocation bandwidth; GC
-	// only pays off past a minimum invalid fraction (the unified
-	// cache's scattered invalid pages therefore linger, which is
-	// exactly the capacity loss section 3.5 attributes to it).
-	if m := &c.meta[best]; !force && bestInvalid*2 < m.consumed {
-		return 0
-	}
+	best := bestElem.Value.(int)
 	m := &c.meta[best]
 	if c.freePagesIn(r) < m.valid+4 {
 		return 0 // not enough headroom to relocate safely
@@ -528,7 +518,9 @@ func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
 		t += c.applyStagedAndErase(best)
 		if c.meta[best].state == blockFree {
 			r.addFreeReclaimed(best)
-			c.maybeWearRotate(best)
+			if c.evictPol.rotate() {
+				c.maybeWearRotate(best)
+			}
 		}
 	}
 	c.stats.GCTime += t

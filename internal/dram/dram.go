@@ -69,6 +69,50 @@ type Evicted struct {
 	Dirty bool
 }
 
+// replacer is the replacement-policy seam: how a resident page's
+// recency refreshes and which page leaves a full cache. Implementations
+// are stateless singletons (per-page policy state lives in the node
+// slab), so the indirection costs one interface call and no
+// allocation — the same contract as the core policy interfaces.
+type replacer interface {
+	touch(c *Cache, i int32)
+	evict(c *Cache) Evicted
+}
+
+// lruReplacer is strict least-recently-used.
+type lruReplacer struct{}
+
+func (lruReplacer) touch(c *Cache, i int32) { c.moveToFront(i) }
+func (lruReplacer) evict(c *Cache) Evicted  { return c.removeTail() }
+
+// secondChanceReplacer is the clock algorithm: touching sets the
+// reference bit; eviction sweeps from the tail, granting one reprieve
+// per referenced page.
+type secondChanceReplacer struct{}
+
+func (secondChanceReplacer) touch(c *Cache, i int32) { c.nodes[i].referenced = true }
+func (secondChanceReplacer) evict(c *Cache) Evicted {
+	for {
+		nd := &c.nodes[c.tail]
+		if !nd.referenced {
+			break
+		}
+		nd.referenced = false
+		c.moveToFront(c.tail)
+	}
+	return c.removeTail()
+}
+
+// replacerFor maps the public Policy enum to its implementation.
+func replacerFor(p Policy) replacer {
+	switch p {
+	case SecondChance:
+		return secondChanceReplacer{}
+	default:
+		return lruReplacer{}
+	}
+}
+
 // none is the null node index of the intrusive recency list.
 const none = int32(-1)
 
@@ -85,6 +129,7 @@ const none = int32(-1)
 type Cache struct {
 	capacity int
 	policy   Policy
+	repl     replacer
 	nodes    []node
 	free     []int32 // recycled slab slots
 	head     int32   // most recently used, none when empty
@@ -117,6 +162,7 @@ func NewCacheWithPolicy(capacityBytes int64, p Policy) *Cache {
 	return &Cache{
 		capacity: pages,
 		policy:   p,
+		repl:     replacerFor(p),
 		head:     none,
 		tail:     none,
 		index:    make(map[int64]int32, pages),
@@ -164,6 +210,9 @@ func (c *Cache) moveToFront(i int32) {
 // CapacityPages returns the cache size in pages.
 func (c *Cache) CapacityPages() int { return c.capacity }
 
+// ReplacementPolicy returns the policy the cache was built with.
+func (c *Cache) ReplacementPolicy() Policy { return c.policy }
+
 // Len returns the number of resident pages.
 func (c *Cache) Len() int { return c.count }
 
@@ -185,14 +234,7 @@ func (c *Cache) Read(lba int64) (hit bool, latency sim.Duration) {
 }
 
 // touch refreshes a resident page per the active policy.
-func (c *Cache) touch(i int32) {
-	switch c.policy {
-	case LRU:
-		c.moveToFront(i)
-	case SecondChance:
-		c.nodes[i].referenced = true
-	}
-}
+func (c *Cache) touch(i int32) { c.repl.touch(c, i) }
 
 // Write updates or inserts lba as dirty, refreshing recency. When
 // evicted is true the returned page was pushed out to make room and
@@ -293,20 +335,12 @@ func (c *Cache) insert(lba int64, dirty bool) (ev Evicted, evicted bool) {
 }
 
 // evictOne removes a victim per the active policy.
-func (c *Cache) evictOne() Evicted {
-	switch c.policy {
-	case SecondChance:
-		// Sweep the clock hand from the back, granting one reprieve
-		// to referenced pages.
-		for {
-			nd := &c.nodes[c.tail]
-			if !nd.referenced {
-				break
-			}
-			nd.referenced = false
-			c.moveToFront(c.tail)
-		}
-	}
+func (c *Cache) evictOne() Evicted { return c.repl.evict(c) }
+
+// removeTail unlinks and returns the current LRU page — the shared
+// mechanism every replacer's evict ends in once it has positioned its
+// victim at the tail.
+func (c *Cache) removeTail() Evicted {
 	i := c.tail
 	nd := &c.nodes[i]
 	ev := Evicted{LBA: nd.lba, Dirty: nd.dirty}

@@ -20,6 +20,7 @@ import (
 	"flashdc/internal/fault"
 	"flashdc/internal/hier"
 	"flashdc/internal/model"
+	"flashdc/internal/policy"
 	"flashdc/internal/sim"
 	"flashdc/internal/trace"
 	"flashdc/internal/wear"
@@ -65,6 +66,11 @@ type Config struct {
 	Retention        wear.RetentionParams
 	Disturb          wear.DisturbParams
 	RefreshThreshold float64
+	// Policies selects the Flash cache's policy set (zero value = the
+	// paper defaults). The model mirrors WLFC admission exactly and
+	// tolerates any eviction/GC choice through its may-set, so every
+	// registered combination is divergence-checkable.
+	Policies policy.Set
 }
 
 // Default returns a small, fast, fault-free configuration.
@@ -99,6 +105,7 @@ func hierConfig(cfg Config) hier.Config {
 		fc.Retention = cfg.Retention
 		fc.Disturb = cfg.Disturb
 		fc.RefreshThreshold = cfg.RefreshThreshold
+		fc.Policies = cfg.Policies
 		hc.Flash = fc
 	}
 	return hc

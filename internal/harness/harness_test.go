@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"flashdc/internal/fault"
+	"flashdc/internal/policy"
 	"flashdc/internal/sim"
 	"flashdc/internal/trace"
 	"flashdc/internal/wear"
@@ -109,6 +110,49 @@ func TestLockstepSweep(t *testing.T) {
 	}
 	if !testing.Short() && total < 200000 {
 		t.Fatalf("sweep replayed only %d ops, acceptance floor is 200000", total)
+	}
+}
+
+// policySets is the non-default policy matrix the differential
+// harness must clear: each write-reduction policy alone, then the
+// whole zoo at once. The paper-default set is absent because every
+// other test already runs it.
+func policySets() []policy.Set {
+	return []policy.Set{
+		{Admit: policy.AdmitWLFC},
+		{Evict: policy.EvictCMWear},
+		{GC: policy.GCCostBenefit},
+		{GC: policy.GCWindowedGreedy},
+		{Evict: policy.EvictCMWear, Admit: policy.AdmitWLFC, GC: policy.GCCostBenefit},
+	}
+}
+
+// TestPolicySweep replays the lockstep matrix under every non-default
+// policy set: the model mirrors WLFC admission exactly and bounds the
+// rest through its may-set, so zero divergences is the acceptance bar
+// for the whole zoo. The no-flash configuration is skipped (no Flash
+// tier means no Flash policies to exercise).
+func TestPolicySweep(t *testing.T) {
+	for _, ps := range policySets() {
+		ps := ps
+		t.Run(ps.Normalized().String(), func(t *testing.T) {
+			for _, cfg := range sweepConfigs() {
+				cfg := cfg
+				if cfg.FlashBytes == 0 {
+					continue
+				}
+				t.Run(cfg.Name, func(t *testing.T) {
+					cfg.Ops = 8000
+					if testing.Short() {
+						cfg.Ops = 2000
+					}
+					cfg.Policies = ps
+					if err := Run(cfg); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		})
 	}
 }
 

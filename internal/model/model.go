@@ -33,6 +33,7 @@ import (
 	"flashdc/internal/dram"
 	"flashdc/internal/hier"
 	"flashdc/internal/nand"
+	"flashdc/internal/policy"
 	"flashdc/internal/trace"
 )
 
@@ -49,6 +50,16 @@ type Model struct {
 	lru      *list.List // front = most recently used
 	idx      map[int64]*list.Element
 	flashMay map[int64]struct{}
+	// admit mirrors the WLFC admission filter (nil under the default
+	// paper admission, which admits everything). It replays exactly
+	// the real cache's Touch sequence: core.Cache.Read fires once per
+	// flash-tier lookup, which is precisely the set of pages the DRAM
+	// mirror does not serve.
+	admit *policy.AdmitFilter
+	// writeAround mirrors write-less lazy write-back: dirty DRAM
+	// evictions and drains bypass Flash, so they never enter the
+	// may-set.
+	writeAround bool
 }
 
 // New builds a model for a hierarchy with the given configuration.
@@ -67,13 +78,26 @@ func New(cfg hier.Config) (*Model, error) {
 	if pages < 1 {
 		return nil, fmt.Errorf("model: DRAM %d bytes holds no pages", cfg.DRAMBytes)
 	}
-	return &Model{
+	ps := cfg.Flash.Policies
+	if err := ps.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
 		dramCap:  pages,
 		hasFlash: cfg.FlashBytes > 0,
 		lru:      list.New(),
 		idx:      make(map[int64]*list.Element, pages),
 		flashMay: make(map[int64]struct{}),
-	}, nil
+	}
+	// Eviction and GC-victim policies only affect which pages the real
+	// Flash *loses*, which the may-set over-approximation already
+	// tolerates; admission affects which pages it can *gain*, so only
+	// that policy needs a mirror here.
+	if m.hasFlash && ps.Normalized().Admit == policy.AdmitWLFC {
+		m.admit = policy.NewAdmitFilter()
+		m.writeAround = true
+	}
+	return m, nil
 }
 
 // PageFate describes one page of a request the DRAM mirror did not
@@ -115,7 +139,14 @@ func (m *Model) readPage(lba int64, p *Prediction) {
 	p.NonDRAM = append(p.NonDRAM, PageFate{LBA: lba, FlashPossible: m.mayBeInFlash(lba)})
 	// Fill on the way back up: Flash absorbs the page when the read
 	// was served below it (and already held it otherwise), then DRAM.
-	if m.hasFlash {
+	// Under WLFC the fill is filtered: a cold page's first touch only
+	// records interest, so it can enter Flash no earlier than its
+	// second flash-tier lookup (a page already resident is already in
+	// the may-set, so skipping the add stays a superset).
+	if m.admit != nil {
+		m.admit.Touch(lba)
+	}
+	if m.hasFlash && (m.admit == nil || m.admit.Hot(lba)) {
 		m.flashMay[lba] = struct{}{}
 	}
 	m.insert(lba, false)
@@ -137,7 +168,7 @@ func (m *Model) insert(lba int64, dirty bool) {
 	if m.lru.Len() >= m.dramCap {
 		back := m.lru.Back()
 		v := back.Value.(*page)
-		if v.dirty && m.hasFlash {
+		if v.dirty && m.hasFlash && !m.writeAround {
 			m.flashMay[v.lba] = struct{}{}
 		}
 		delete(m.idx, v.lba)
@@ -152,7 +183,7 @@ func (m *Model) Drain() {
 	for el := m.lru.Front(); el != nil; el = el.Next() {
 		v := el.Value.(*page)
 		if v.dirty {
-			if m.hasFlash {
+			if m.hasFlash && !m.writeAround {
 				m.flashMay[v.lba] = struct{}{}
 			}
 			v.dirty = false

@@ -52,6 +52,14 @@ const (
 	// KindDisturbReset marks an erase clearing Block's accumulated
 	// read-disturb stress (N reads since the previous erase).
 	KindDisturbReset Kind = "disturb_reset"
+	// KindAdmitReject is an admission-policy veto of a read-miss fill
+	// (LBA stayed out of the read region; nonzero only under
+	// non-default admission).
+	KindAdmitReject Kind = "admit_reject"
+	// KindWriteAround is an admission-policy veto of a dirty
+	// write-back: LBA went straight to the backing store instead of
+	// the write region.
+	KindWriteAround Kind = "write_around"
 	// KindShardMerge marks one shard's results folding into the merged
 	// report (N is the shard's request count; Block is -1).
 	KindShardMerge Kind = "shard_merge"

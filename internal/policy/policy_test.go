@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSetNormalizeValidateDefault(t *testing.T) {
+	var zero Set
+	if !zero.IsDefault() {
+		t.Fatal("zero Set is not the default selection")
+	}
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("zero Set invalid: %v", err)
+	}
+	n := zero.Normalized()
+	want := Set{Evict: EvictWearLRU, Admit: AdmitPaper, GC: GCGreedy}
+	if n != want {
+		t.Fatalf("normalized %+v, want %+v", n, want)
+	}
+	if got := n.String(); got != "evict=wear-lru admit=paper gc=greedy" {
+		t.Fatalf("String() = %q", got)
+	}
+	explicit := Set{Evict: EvictWearLRU, Admit: AdmitPaper, GC: GCGreedy}
+	if !explicit.IsDefault() {
+		t.Fatal("explicitly-default Set not recognised as default")
+	}
+	zoo := Set{Admit: AdmitWLFC}
+	if zoo.IsDefault() {
+		t.Fatal("wlfc admission counted as default")
+	}
+	if err := zoo.Validate(); err != nil {
+		t.Fatalf("wlfc admission invalid: %v", err)
+	}
+}
+
+func TestSetValidateRejectsUnknown(t *testing.T) {
+	for _, s := range []Set{
+		{Evict: "mru"},
+		{Admit: "always"},
+		{GC: "random"},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("%+v validated", s)
+		}
+	}
+}
+
+func TestRegistryCatalog(t *testing.T) {
+	for _, kind := range Kinds() {
+		names := Names(kind)
+		if len(names) < 2 {
+			t.Fatalf("kind %s has %d implementations, want a zoo", kind, len(names))
+		}
+		if names[0] != DefaultName(kind) {
+			t.Fatalf("kind %s: first name %q is not the default %q", kind, names[0], DefaultName(kind))
+		}
+		for _, n := range names {
+			s := Set{}
+			switch kind {
+			case KindEvict:
+				s.Evict = n
+			case KindAdmit:
+				s.Admit = n
+			case KindGC:
+				s.GC = n
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("registered name %s/%s fails validation: %v", kind, n, err)
+			}
+		}
+	}
+	if Names("dram") != nil {
+		t.Fatal("unknown kind returned names")
+	}
+}
+
+func TestAdmitFilterSecondTouch(t *testing.T) {
+	f := NewAdmitFilter()
+	if f.Hot(7) {
+		t.Fatal("untouched lba hot")
+	}
+	f.Touch(7)
+	if f.Hot(7) {
+		t.Fatal("single touch admitted")
+	}
+	f.Touch(7)
+	if !f.Hot(7) {
+		t.Fatal("second touch not admitted")
+	}
+	// Saturation: more touches keep it hot and keep the count capped.
+	f.Touch(7)
+	if !f.Hot(7) || f.touches[7] != 2 {
+		t.Fatalf("touch count not capped: %d", f.touches[7])
+	}
+}
+
+func TestAdmitFilterCheckpointCanonical(t *testing.T) {
+	f := NewAdmitFilter()
+	for _, lba := range []int64{42, 3, 99, 3, 42, 17} {
+		f.Touch(lba)
+	}
+	ck := f.Checkpoint()
+	want := []AdmitEntry{{3, 2}, {17, 1}, {42, 2}, {99, 1}}
+	if !reflect.DeepEqual(ck, want) {
+		t.Fatalf("checkpoint %v, want %v", ck, want)
+	}
+	g := NewAdmitFilter()
+	if err := g.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Checkpoint(), ck) {
+		t.Fatal("restore/checkpoint not a fixed point")
+	}
+	if !g.Hot(3) || g.Hot(17) {
+		t.Fatal("restored filter disagrees with original")
+	}
+}
+
+func TestAdmitFilterRestoreRejectsBadEntries(t *testing.T) {
+	f := NewAdmitFilter()
+	if err := f.Restore([]AdmitEntry{{1, 0}}); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+	if err := f.Restore([]AdmitEntry{{1, 3}}); err == nil {
+		t.Fatal("count above threshold accepted")
+	}
+	if err := f.Restore([]AdmitEntry{{1, 1}, {1, 2}}); err == nil {
+		t.Fatal("duplicate lba accepted")
+	}
+}

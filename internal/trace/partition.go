@@ -53,8 +53,8 @@ func SplitRuns(req Request, shards int, fn func(shard int, run Request)) {
 
 // AppendByShard appends the pieces of req owned by shard to dst, as
 // maximal runs of consecutive pages in page order, and returns the
-// extended slice. It is the allocation-free form of SplitByShard:
-// the run walk is inlined rather than routed through a callback, so a
+// extended slice. Unlike SplitRuns it needs no callback:
+// the run walk is inlined rather than routed through a closure, so a
 // caller reusing dst across requests stays off the allocator entirely
 // on the simulation hot path.
 func AppendByShard(dst []Request, req Request, shard, shards int) []Request {
@@ -89,12 +89,3 @@ func AppendByShard(dst []Request, req Request, shard, shards int) []Request {
 	return dst
 }
 
-// SplitByShard returns the pieces of req owned by shard, as maximal
-// runs of consecutive pages in page order; nil when the request
-// touches none of the shard's pages.
-//
-// Deprecated: SplitByShard allocates its result on every call. Use
-// AppendByShard, which appends into a caller-owned buffer.
-func SplitByShard(req Request, shard, shards int) []Request {
-	return AppendByShard(nil, req, shard, shards)
-}

@@ -87,16 +87,16 @@ func TestSplitRunsPartition(t *testing.T) {
 	}
 }
 
-// TestSplitByShardUnion: the per-shard pieces of a request, collected
+// TestAppendByShardUnion: the per-shard pieces of a request, collected
 // across all shards in page order, reassemble the SplitRuns stream.
-func TestSplitByShardUnion(t *testing.T) {
+func TestAppendByShardUnion(t *testing.T) {
 	const shards = 5
 	req := Request{Op: OpWrite, LBA: 1000, Pages: 37}
 	var want []Request
 	SplitRuns(req, shards, func(_ int, run Request) { want = append(want, run) })
 	var got []Request
 	for _, w := range want {
-		pieces := SplitByShard(req, ShardOf(w.LBA, shards), shards)
+		pieces := AppendByShard(nil, req, ShardOf(w.LBA, shards), shards)
 		for _, p := range pieces {
 			if p.LBA == w.LBA {
 				got = append(got, p)
@@ -106,7 +106,7 @@ func TestSplitByShardUnion(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("pieces:\n got %+v\nwant %+v", got, want)
 	}
-	if SplitByShard(Request{LBA: 3, Pages: 1}, ShardOf(3, shards), shards)[0].Pages != 1 {
+	if AppendByShard(nil, Request{LBA: 3, Pages: 1}, ShardOf(3, shards), shards)[0].Pages != 1 {
 		t.Fatal("single-page request lost")
 	}
 }
