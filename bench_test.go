@@ -12,6 +12,7 @@ import (
 
 	"flashdc/internal/experiments"
 	"flashdc/internal/sim"
+	"flashdc/internal/trace"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -134,6 +135,7 @@ func benchEngineReplay(b *testing.B, o ObsOptions) {
 					}
 				}
 			}
+			b.ReportMetric(float64(requests)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 		})
 	}
 }
@@ -157,6 +159,50 @@ func BenchmarkEngineReplayObserved(b *testing.B) {
 		MetricsInterval: 10 * Millisecond,
 		Trace:           true,
 	})
+}
+
+// BenchmarkEngineReplayBatched times the same 200k-request Zipf replay
+// as BenchmarkEngineReplay, but driven through the batch pipeline from
+// a pre-encoded in-memory binary trace: the stream is generated and
+// packed once outside the timed loop, then each iteration maps it
+// zero-copy and replays it with Engine.RunSource. The delta against
+// BenchmarkEngineReplay is the batch pipeline's whole advantage —
+// no per-shard duplicate stream generation, no per-request closure
+// calls, batch-resolved metadata lookups.
+func BenchmarkEngineReplayBatched(b *testing.B) {
+	const requests = 200000
+	g, err := NewWorkload("alpha2", 1.0/16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := trace.AppendBinaryHeader(nil)
+	for i := 0; i < requests; i++ {
+		buf = trace.AppendBinary(buf, g.Next())
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := NewEngine(EngineConfig{
+					Shards: shards,
+					Hier:   SystemConfig{DRAMBytes: 8 << 20, FlashBytes: 64 << 20, Seed: 3},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				src, err := trace.MapBytes(buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n := eng.RunSource(src, requests); n != requests {
+					b.Fatalf("replayed %d requests, want %d", n, requests)
+				}
+				if got := eng.Stats().Requests; got != requests {
+					b.Fatalf("stats count %d requests, want %d", got, requests)
+				}
+			}
+			b.ReportMetric(float64(requests)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
 }
 
 // BenchmarkWorkloadNext times trace generation alone.

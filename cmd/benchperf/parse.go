@@ -34,6 +34,9 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"b_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// OpsPerSec is the median of the custom "ops/s" throughput metric
+	// (b.ReportMetric); zero when the benchmark does not report one.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
 }
 
 // schemaID versions the summary layout for future readers.
@@ -41,7 +44,7 @@ const schemaID = "flashdc-benchperf/v1"
 
 // sample is one benchmark result line before aggregation.
 type sample struct {
-	ns, bytes, allocs float64
+	ns, bytes, allocs, ops float64
 }
 
 // Parse reads `go test -bench` text output and collapses repeated runs
@@ -84,6 +87,7 @@ func Parse(r io.Reader) (Summary, error) {
 			NsPerOp:     median(ss, func(s sample) float64 { return s.ns }),
 			BPerOp:      median(ss, func(s sample) float64 { return s.bytes }),
 			AllocsPerOp: median(ss, func(s sample) float64 { return s.allocs }),
+			OpsPerSec:   median(ss, func(s sample) float64 { return s.ops }),
 		})
 	}
 	sort.Slice(sum.Benchmarks, func(i, j int) bool {
@@ -121,6 +125,8 @@ func parseResultLine(line string) (string, sample, bool) {
 			s.bytes = v
 		case "allocs/op":
 			s.allocs = v
+		case "ops/s":
+			s.ops = v
 		}
 	}
 	if !seenNs {
@@ -177,12 +183,15 @@ type Report struct {
 }
 
 // Compare gates cur against base. A benchmark fails when its ns/op
-// grew by more than threshold relative to the baseline, or its
+// grew by more than threshold relative to the baseline, when its
 // allocs/op exceed the baseline by more than one allocation and the
 // threshold fraction (the absolute slack forgives amortised map/slab
 // growth rounding; a 0-alloc baseline therefore stays a hard gate
-// against reintroducing steady allocations). Benchmarks present on
-// only one side are listed but never fail.
+// against reintroducing steady allocations), or when its reported
+// ops/s throughput dropped by more than the threshold (gated only
+// when both sides report the metric — higher is better, so the sign
+// is inverted relative to ns/op). Benchmarks present on only one side
+// are listed but never fail.
 func Compare(base, cur Summary, threshold float64) Report {
 	var rep Report
 	baseBy := map[string]Benchmark{}
@@ -208,10 +217,17 @@ func Compare(base, cur Summary, threshold float64) Report {
 		} else if c.AllocsPerOp > b.AllocsPerOp+1 && c.AllocsPerOp > b.AllocsPerOp*(1+threshold) {
 			status = "REGRESSED(allocs)"
 			rep.Regressions = append(rep.Regressions, c.Name)
+		} else if b.OpsPerSec > 0 && c.OpsPerSec > 0 && c.OpsPerSec < b.OpsPerSec*(1-threshold) {
+			status = "REGRESSED(ops/s)"
+			rep.Regressions = append(rep.Regressions, c.Name)
 		}
-		rep.Lines = append(rep.Lines, fmt.Sprintf(
+		line := fmt.Sprintf(
 			"  %-18s %s: %.1f -> %.1f ns/op (%+.1f%%), %g -> %g allocs/op",
-			status, c.Name, b.NsPerOp, c.NsPerOp, delta*100, b.AllocsPerOp, c.AllocsPerOp))
+			status, c.Name, b.NsPerOp, c.NsPerOp, delta*100, b.AllocsPerOp, c.AllocsPerOp)
+		if b.OpsPerSec > 0 || c.OpsPerSec > 0 {
+			line += fmt.Sprintf(", %.0f -> %.0f ops/s", b.OpsPerSec, c.OpsPerSec)
+		}
+		rep.Lines = append(rep.Lines, line)
 	}
 	for _, b := range base.Benchmarks {
 		if !curSeen[b.Name] {

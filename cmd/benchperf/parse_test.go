@@ -12,7 +12,7 @@ cpu: Intel(R) Xeon(R) CPU
 BenchmarkCacheReadHit-8   	 8053717	       144.3 ns/op	       0 B/op	       0 allocs/op
 BenchmarkCacheReadHit-8   	 9105490	       129.8 ns/op	       0 B/op	       0 allocs/op
 BenchmarkCacheReadHit-8   	11341074	       129.1 ns/op	       0 B/op	       0 allocs/op
-BenchmarkEngineReplay/shards=4-8         	      13	  88933655 ns/op	 6063104 B/op	    2189 allocs/op
+BenchmarkEngineReplay/shards=4-8         	      13	  88933655 ns/op	 2248863 ops/s	 6063104 B/op	    2189 allocs/op
 BenchmarkEncodePage-8     	   77000	     15500 ns/op
 PASS
 ok  	flashdc	33.728s
@@ -45,9 +45,13 @@ func TestParse(t *testing.T) {
 	if hit.AllocsPerOp != 0 || hit.BPerOp != 0 {
 		t.Errorf("benchmem medians = %v B, %v allocs; want 0, 0", hit.BPerOp, hit.AllocsPerOp)
 	}
-	// Sub-benchmark keeps its path, loses only the -8 suffix.
-	if rep := sum.Benchmarks[2]; rep.AllocsPerOp != 2189 {
-		t.Errorf("shards=4 allocs = %v, want 2189", rep.AllocsPerOp)
+	// Sub-benchmark keeps its path, loses only the -8 suffix; the
+	// custom ops/s column is read alongside the -benchmem ones.
+	if rep := sum.Benchmarks[2]; rep.AllocsPerOp != 2189 || rep.OpsPerSec != 2248863 {
+		t.Errorf("shards=4 = %+v, want 2189 allocs/op and 2248863 ops/s", rep)
+	}
+	if hit.OpsPerSec != 0 {
+		t.Errorf("ops/s without the metric = %v, want 0", hit.OpsPerSec)
 	}
 	// -benchmem off: unit columns default to zero.
 	if enc := sum.Benchmarks[1]; enc.NsPerOp != 15500 || enc.BPerOp != 0 {
@@ -123,6 +127,28 @@ func TestCompareGate(t *testing.T) {
 		if rep.Regressions[i] != name {
 			t.Fatalf("regressions = %v, want %v", rep.Regressions, want)
 		}
+	}
+}
+
+func TestCompareThroughputGate(t *testing.T) {
+	ops := func(name string, ns, ops float64) Benchmark {
+		return Benchmark{Name: name, Samples: 1, NsPerOp: ns, OpsPerSec: ops}
+	}
+	base := Summary{Benchmarks: []Benchmark{
+		ops("A", 100, 1000),
+		ops("B", 100, 1000),
+		ops("C", 100, 0), // baseline without the metric: not gated
+		ops("D", 100, 1000),
+	}}
+	cur := Summary{Benchmarks: []Benchmark{
+		ops("A", 100, 900), // -10%: within a 15% budget
+		ops("B", 100, 700), // -30%: regression
+		ops("C", 100, 10),
+		ops("D", 100, 0), // metric dropped from the run: not gated
+	}}
+	rep := Compare(base, cur, 0.15)
+	if len(rep.Regressions) != 1 || rep.Regressions[0] != "B" {
+		t.Fatalf("regressions = %v, want [B]\n%s", rep.Regressions, strings.Join(rep.Lines, "\n"))
 	}
 }
 

@@ -40,7 +40,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -88,6 +87,13 @@ var (
 	_ simulator = (*hier.System)(nil)
 	_ simulator = (*engine.Engine)(nil)
 )
+
+// legacySimulator is the deprecated pull-closure surface, kept only so
+// -batch 0 can exercise the old per-request path for one release; it
+// disappears with the closure shims.
+type legacySimulator interface {
+	Run(next func() (trace.Request, bool), n int) int
+}
 
 func parseSize(s string) (int64, error) {
 	s = strings.TrimSpace(strings.ToUpper(s))
@@ -163,7 +169,9 @@ func parseFaults(spec string) (*fault.Plan, error) {
 func main() {
 	var (
 		workloadName = flag.String("workload", "dbt2", "Table 4 workload name (ignored with -trace)")
-		traceFile    = flag.String("trace", "", "replay a trace file instead of generating")
+		traceFile    = flag.String("trace", "", "replay a text trace file instead of generating")
+		traceBinary  = flag.String("trace-binary", "", "replay a binary trace file (tracegen -binary) via a zero-copy mapping")
+		batchSize    = flag.Int("batch", trace.DefaultBatch, "requests per replay batch (0 = legacy per-request path)")
 		scale        = flag.Float64("scale", 1.0/16, "footprint scale for generated workloads")
 		requests     = flag.Int("requests", 200000, "requests to simulate")
 		dramSize     = flag.String("dram", "16M", "DRAM primary disk cache size")
@@ -232,12 +240,16 @@ func main() {
 		usageErr("-disturb-reads %g is negative", *disturbReads)
 	case *refreshThresh < 0 || *refreshThresh > 1:
 		usageErr("-refresh-threshold %g outside (0,1] (0 means 1.0)", *refreshThresh)
-	case *traceFile == "" && !(*scale > 0):
+	case *batchSize < 0:
+		usageErr("-batch %d is negative (0 selects the legacy per-request path)", *batchSize)
+	case *traceFile != "" && *traceBinary != "":
+		usageErr("-trace and -trace-binary are mutually exclusive")
+	case *traceFile == "" && *traceBinary == "" && !(*scale > 0):
 		usageErr("-scale %g: generated workloads need a positive footprint scale", *scale)
 	case flash == 0 && (*retentionAccel > 0 || *disturbReads > 0):
 		usageErr("-retention-accel/-disturb-reads model Flash reliability; -flash 0 builds no Flash tier")
-	case (*checkpointIn != "" || *checkpointOut != "") && *traceFile != "":
-		usageErr("-checkpoint-in/-checkpoint-out support generated workloads only, not -trace " +
+	case (*checkpointIn != "" || *checkpointOut != "") && (*traceFile != "" || *traceBinary != ""):
+		usageErr("-checkpoint-in/-checkpoint-out support generated workloads only, not -trace/-trace-binary " +
 			"(a trace file's stream position cannot be replayed deterministically)")
 	}
 	if *faultSpec != "" {
@@ -365,20 +377,46 @@ func main() {
 	}
 
 	stats := trace.NewStats()
+	// runSource drives sys at the -batch granularity; -batch 0 keeps the
+	// legacy per-request path alive for one release. After the run the
+	// source's sticky stream error (a torn trace file, a bad binary
+	// record) is fatal like any other input error.
+	runSource := func(src trace.Source, n int) {
+		if *batchSize == 0 {
+			var one [1]trace.Request
+			sys.(legacySimulator).Run(func() (trace.Request, bool) {
+				if src.Next(one[:]) == 0 {
+					return trace.Request{}, false
+				}
+				return one[0], true
+			}, n)
+		} else {
+			buf := make([]trace.Request, *batchSize)
+			for consumed := 0; consumed < n; {
+				chunk := len(buf)
+				if rem := n - consumed; rem < chunk {
+					chunk = rem
+				}
+				k := src.Next(buf[:chunk])
+				if k == 0 {
+					break
+				}
+				sys.RunBatch(buf[:k])
+				consumed += k
+			}
+		}
+		die(trace.SourceErr(src))
+	}
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		die(err)
 		defer f.Close()
-		r := trace.NewReader(f)
-		sys.Run(func() (trace.Request, bool) {
-			req, err := r.Read()
-			if err == io.EOF {
-				return trace.Request{}, false
-			}
-			die(err)
-			stats.Add(req)
-			return req, true
-		}, *requests)
+		runSource(trace.NewCountingSource(trace.NewStreamSource(trace.NewReader(f)), stats), *requests)
+	} else if *traceBinary != "" {
+		m, err := trace.MapFile(*traceBinary)
+		die(err)
+		defer m.Close()
+		runSource(trace.NewCountingSource(m, stats), *requests)
 	} else if eng, ok := sys.(*engine.Engine); ok {
 		// Sharded generated workloads use the per-shard source mode:
 		// each shard draws its slice of the global stream directly,
@@ -412,11 +450,7 @@ func main() {
 	} else {
 		g, err := workload.New(*workloadName, *scale, *seed)
 		die(err)
-		sys.Run(func() (trace.Request, bool) {
-			req := g.Next()
-			stats.Add(req)
-			return req, true
-		}, *requests)
+		runSource(trace.NewCountingSource(workload.AsSource(g), stats), *requests)
 	}
 	// Checkpoint before Drain: the unbroken run never drains mid-way,
 	// so a resumable snapshot must capture the pre-drain state for the

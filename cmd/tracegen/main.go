@@ -1,9 +1,11 @@
 // Command tracegen emits disk access traces from the Table 4 workload
-// catalog in the text format fdcsim replays.
+// catalog, in the text format fdcsim replays with -trace or (with
+// -binary) the packed binary format it maps with -trace-binary.
 //
 // Usage:
 //
 //	tracegen -workload Financial2 -requests 100000 -scale 0.0625 > f2.trace
+//	tracegen -workload alpha2 -requests 1000000 -binary -o alpha2.fdct
 //	tracegen -list
 package main
 
@@ -23,6 +25,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0/16, "footprint scale (1 = paper size)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		list     = flag.Bool("list", false, "list catalog and exit")
+		binary   = flag.Bool("binary", false, "emit the packed binary format (fdcsim -trace-binary)")
 		out      = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -43,6 +46,14 @@ func main() {
 		f, err = os.Create(*out)
 		die(err)
 		defer f.Close()
+	}
+	if *binary {
+		w := trace.NewBinaryWriter(f)
+		for i := 0; i < *requests; i++ {
+			die(w.Write(g.Next()))
+		}
+		die(w.Flush())
+		return
 	}
 	w := trace.NewWriter(f)
 	fmt.Fprintf(f, "# workload=%s scale=%g seed=%d requests=%d footprint=%d pages\n",

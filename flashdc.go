@@ -156,6 +156,40 @@ const (
 // Workloads lists the Table 4 catalog.
 func Workloads() []WorkloadSpec { return workload.Catalog }
 
+// Batched request pipeline: TraceSource is the bulk driving surface
+// consumed by System.RunSource and Engine.RunSource (System.RunBatch
+// and Engine.RunBatch take in-memory slices directly). The per-request
+// closure forms survive one release as deprecated shims.
+type (
+	// TraceSource yields a request stream in bulk: Next fills the
+	// buffer from the front and returns how many requests were written
+	// (0 = exhausted).
+	TraceSource = trace.Source
+	// SliceTraceSource replays an in-memory request slice.
+	SliceTraceSource = trace.SliceSource
+	// MappedTrace is a zero-copy source over a binary trace file
+	// (tracegen -binary); Close releases the mapping.
+	MappedTrace = trace.MapSource
+)
+
+// DefaultBatch is the bulk-fill granularity drivers default to.
+const DefaultBatch = trace.DefaultBatch
+
+// NewSliceSource wraps an in-memory request slice (not copied) as a
+// replayable TraceSource.
+func NewSliceSource(reqs []Request) *SliceTraceSource { return trace.NewSliceSource(reqs) }
+
+// FuncSource adapts a legacy pull closure to a TraceSource.
+func FuncSource(next func() (Request, bool)) TraceSource { return trace.FuncSource(next) }
+
+// MapTraceFile memory-maps a binary trace file as a TraceSource; the
+// records are decoded in place without copying or parsing.
+func MapTraceFile(path string) (*MappedTrace, error) { return trace.MapFile(path) }
+
+// WorkloadSource adapts a workload generator to an unbounded
+// TraceSource; bound it with the driver's request budget.
+func WorkloadSource(g Workload) TraceSource { return workload.AsSource(g) }
+
 // NewWorkload builds a named Table 4 workload at the given footprint
 // scale (1.0 = paper size) and seed.
 func NewWorkload(name string, scale float64, seed uint64) (Workload, error) {

@@ -1,0 +1,23 @@
+package core
+
+// PeekBatch is the batched FCHT resolve used by the batch pipeline
+// (hier.RunBatch): it probes the hash table for each lbas[i] into
+// out[i] as one tight loop, without touching any counter, recency
+// state or the device. Probing a window of upcoming pages back to back
+// lets the memory system overlap the dependent cache misses of the
+// hash-table walk — and leaves the touched buckets warm for the
+// authoritative Read/Write that follows — where the per-request path
+// serialises one probe between page services.
+//
+// The results are a snapshot: a concurrent-free caller that mutates
+// the cache (Write, Insert, Invalidate, GC via Read) invalidates them.
+// The hierarchy therefore treats them as prefetch hints only; the
+// tier walk remains the source of truth.
+func (c *Cache) PeekBatch(lbas []int64, out []bool) {
+	if len(lbas) != len(out) {
+		panic("core: PeekBatch slice lengths differ")
+	}
+	for i, lba := range lbas {
+		_, out[i] = c.fcht.Get(lba)
+	}
+}

@@ -1,0 +1,76 @@
+package dram
+
+import "flashdc/internal/sim"
+
+// Batch entry points for the batched request pipeline (hier.RunBatch):
+// a driver pre-resolves index membership for a whole window of pages
+// in one tight pass — giving the memory system a run of independent
+// hash probes to overlap instead of one probe serialised between page
+// services — then services each page through ReadAt/WriteAt using the
+// resolved slot. The split is guarded by Version: any index mutation
+// (insert, removal, eviction) invalidates previously resolved slots,
+// and the driver falls back to the classic Read/Write probes for the
+// rest of its window.
+//
+// The resolved-slot paths replicate the hit halves of Read and Write
+// exactly — same recency policy calls, same counters — so a batched
+// replay is bit-identical to a per-request one.
+
+// Version identifies the current shape of the page index. It changes
+// on every insert or removal (never on a recency touch or dirty-bit
+// update), so a slot obtained from Resolve stays valid for exactly as
+// long as Version is unchanged.
+func (c *Cache) Version() uint64 { return c.version }
+
+// Resolve probes the index for lba without touching recency or any
+// counter, returning the page's slab slot or -1. The slot may be
+// passed to ReadAt/WriteAt while Version is unchanged.
+func (c *Cache) Resolve(lba int64) int32 {
+	if i, ok := c.index[lba]; ok {
+		return i
+	}
+	return -1
+}
+
+// ResolveBatch resolves each lbas[i] into hints[i] (the slab slot or
+// -1), a tight probe loop the hardware can overlap. It panics if the
+// slices differ in length.
+func (c *Cache) ResolveBatch(lbas []int64, hints []int32) {
+	if len(lbas) != len(hints) {
+		panic("dram: ResolveBatch slice lengths differ")
+	}
+	for k, lba := range lbas {
+		if i, ok := c.index[lba]; ok {
+			hints[k] = i
+		} else {
+			hints[k] = -1
+		}
+	}
+}
+
+// ReadAt services a read hit on the already-resolved slot i: identical
+// to the hit half of Read (recency touch, Reads/Hits counters, DRAM
+// access latency). The slot must come from Resolve under the current
+// Version.
+func (c *Cache) ReadAt(i int32) sim.Duration {
+	c.touch(i)
+	c.stats.Reads++
+	c.stats.Hits++
+	return AccessLatency
+}
+
+// WriteAt services a write to the already-resolved resident slot i:
+// identical to the resident half of Write (dirty mark, recency touch,
+// Writes counter). The slot must come from Resolve under the current
+// Version.
+func (c *Cache) WriteAt(i int32) sim.Duration {
+	c.stats.Writes++
+	c.nodes[i].dirty = true
+	c.touch(i)
+	return AccessLatency
+}
+
+// NoteMiss records a read miss that was established by Resolve rather
+// than Read, keeping the Misses counter identical between the probe
+// and resolved paths.
+func (c *Cache) NoteMiss() { c.stats.Misses++ }

@@ -57,15 +57,7 @@ func campaignReqs(seed uint64, n int) []trace.Request {
 }
 
 func feed(e *Engine, reqs []trace.Request) {
-	i := 0
-	e.RunStream(func() (trace.Request, bool) {
-		if i >= len(reqs) {
-			return trace.Request{}, false
-		}
-		r := reqs[i]
-		i++
-		return r, true
-	}, len(reqs))
+	e.RunBatch(reqs)
 }
 
 func checkpointBytes(t *testing.T, e *Engine, fingerprint string, consumed int64) []byte {

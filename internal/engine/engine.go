@@ -49,8 +49,9 @@ type Config struct {
 	// slot acquisition (and the router's enqueue granularity); 0
 	// means 64.
 	BatchSize int
-	// QueueDepth is the per-shard batch-queue capacity used by
-	// RunStream; 0 means 8.
+	// QueueDepth bounds how many routed batches may sit queued per
+	// shard before the RunBatch/RunSource router blocks for headroom;
+	// 0 means 8.
 	QueueDepth int
 	// Obs enables observability: every shard gets its own Observer
 	// built from these options (clocked by that shard's simulated
@@ -62,16 +63,14 @@ type Config struct {
 // shard pairs one partition's hierarchy with its replay state.
 type shard struct {
 	sys *hier.System
-	// queue carries request batches from the RunStream router.
-	queue chan []trace.Request
-	// err is the first degraded-service error Handle reported.
+	// err is the first degraded-service error the replay observed.
 	err error
 }
 
 // Engine is a sharded simulation engine. Configure with New, drive
-// with RunStream or RunSources, then read the merged accessors. The
-// run methods block until the replay completes; the merged accessors
-// must not be called while a run is in flight.
+// with RunBatch, RunSource or RunSources, then read the merged
+// accessors. The run methods block until the replay completes; the
+// merged accessors must not be called while a run is in flight.
 type Engine struct {
 	cfg    Config
 	shards []*shard
@@ -80,6 +79,10 @@ type Engine struct {
 	// guards the one-time shard_merge trace events in Observe.
 	observers []*obs.Observer
 	observed  bool
+	// pending and srcBuf are the reusable router-side buffers of the
+	// batch pipeline (see run.go); lazily built, reused across runs.
+	pending [][]trace.Request
+	srcBuf  []trace.Request
 }
 
 // ShardSeed derives shard i's simulation seed from the base seed.
@@ -180,71 +183,15 @@ func (e *Engine) queueDepth() int {
 	return e.cfg.QueueDepth
 }
 
-// handleBatch replays one batch on a shard, recording the first
-// degraded-service error.
-func (sh *shard) handleBatch(batch []trace.Request) {
-	for _, req := range batch {
-		if _, err := sh.sys.Handle(req); err != nil && sh.err == nil {
-			sh.err = err
-		}
-	}
-}
-
-// RunStream replays up to n requests from next across the shards: the
-// calling goroutine routes the global stream — splitting each request
-// into per-shard runs of consecutive pages — onto per-shard queues,
-// while one goroutine per shard replays its queue in arrival order,
-// at most Workers of them simulating at any moment. It returns the
-// number of global requests consumed (short only when next reports
-// end of stream).
+// RunStream replays up to n requests from next across the shards,
+// returning the number of global requests consumed.
 //
-// Use this mode to fan a single source (a trace file) out to the
-// shards. For generated workloads prefer RunSources, which moves
-// stream production into the shards themselves.
+// Deprecated: the pull-closure form survives one release as a shim
+// over the batch pipeline. Use RunSource with a trace.Source (or
+// RunBatch for in-memory streams); trace.FuncSource adapts an
+// existing closure.
 func (e *Engine) RunStream(next func() (trace.Request, bool), n int) int {
-	sem := make(chan struct{}, e.Workers())
-	var wg sync.WaitGroup
-	for _, sh := range e.shards {
-		sh.queue = make(chan []trace.Request, e.queueDepth())
-		wg.Add(1)
-		go func(sh *shard) {
-			defer wg.Done()
-			for batch := range sh.queue {
-				sem <- struct{}{}
-				sh.handleBatch(batch)
-				<-sem
-			}
-		}(sh)
-	}
-
-	batch := e.batchSize()
-	pending := make([][]trace.Request, len(e.shards))
-	// The routing closure is hoisted out of the request loop so the
-	// steady-state router performs no per-request allocations.
-	route := func(s int, run trace.Request) {
-		pending[s] = append(pending[s], run)
-		if len(pending[s]) >= batch {
-			e.shards[s].queue <- pending[s]
-			pending[s] = nil
-		}
-	}
-	consumed := 0
-	for consumed < n {
-		req, ok := next()
-		if !ok {
-			break
-		}
-		consumed++
-		trace.SplitRuns(req, len(e.shards), route)
-	}
-	for s, p := range pending {
-		if len(p) > 0 {
-			e.shards[s].queue <- p
-		}
-		close(e.shards[s].queue)
-	}
-	wg.Wait()
-	return consumed
+	return e.RunSource(trace.FuncSource(next), n)
 }
 
 // Source yields one shard's slice of a global request stream; see
@@ -285,7 +232,7 @@ func (e *Engine) RunSources(sources []Source, n int) error {
 					return
 				}
 				sem <- struct{}{}
-				sh.handleBatch(batch)
+				sh.runBatch(batch)
 				<-sem
 			}
 		}(sh, sources[i])

@@ -87,7 +87,9 @@ func runSources(t *testing.T, shards, workers int) *Engine {
 	return e
 }
 
-// runStream replays the same stream through the single-router mode.
+// runStream replays the same stream through the deprecated closure
+// shim — kept as the one deliberate use so the compatibility path
+// stays covered until the shims are deleted.
 func runStream(t *testing.T, shards, workers int) *Engine {
 	t.Helper()
 	e, err := New(Config{Shards: shards, Workers: workers, Hier: testConfig()})
@@ -95,6 +97,7 @@ func runStream(t *testing.T, shards, workers int) *Engine {
 		t.Fatal(err)
 	}
 	g := newTestGen(t)
+	//lint:ignore SA1019 deliberate coverage of the deprecated shim until it is removed.
 	n := e.RunStream(func() (trace.Request, bool) { return g.Next(), true }, testRequests)
 	if n != testRequests {
 		t.Fatalf("RunStream consumed %d requests, want %d", n, testRequests)
@@ -224,7 +227,7 @@ func TestErrPropagation(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := newTestGen(t)
-	e.RunStream(func() (trace.Request, bool) { return g.Next(), true }, 100)
+	e.RunSource(workload.AsSource(g), 100)
 	if err := e.Err(); !errors.Is(err, hier.ErrFlashBypassed) {
 		t.Fatalf("Err = %v, want ErrFlashBypassed", err)
 	}

@@ -7,7 +7,7 @@ import (
 	"flashdc/internal/hier"
 	"flashdc/internal/obs"
 	"flashdc/internal/sim"
-	"flashdc/internal/trace"
+	"flashdc/internal/workload"
 )
 
 func obsTestOptions() obs.Options {
@@ -38,7 +38,7 @@ func observedRun(t *testing.T, shards, workers int) (*Engine, *obs.Report) {
 		t.Fatal(err)
 	}
 	g := newTestGen(t)
-	e.Run(func() (r trace.Request, ok bool) { return g.Next(), true }, testRequests)
+	e.RunSource(workload.AsSource(g), testRequests)
 	e.Drain()
 	return e, e.Observe()
 }
@@ -75,7 +75,7 @@ func TestObserveMonolithicParity(t *testing.T) {
 	cfg.Observer = o
 	s := hier.New(cfg)
 	g := newTestGen(t)
-	s.Run(func() (r trace.Request, ok bool) { return g.Next(), true }, testRequests)
+	s.RunSource(workload.AsSource(g), testRequests)
 	s.Drain()
 	sysRep := s.Observe()
 
@@ -122,7 +122,7 @@ func TestObserveDisabled(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := newTestGen(t)
-	e.Run(func() (r trace.Request, ok bool) { return g.Next(), true }, 2000)
+	e.RunSource(workload.AsSource(g), 2000)
 	e.Drain()
 	rep := e.Observe()
 	if rep == nil || len(rep.Snapshots) != 0 || len(rep.Events) != 0 {

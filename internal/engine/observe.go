@@ -8,11 +8,14 @@ import (
 
 var _ hier.Simulator = (*Engine)(nil)
 
-// Run replays up to n requests from next across the shards; it is
-// RunStream under the name the hier.Simulator interface requires, so
-// the engine and the monolithic System are driven identically.
+// Run replays up to n requests from next across the shards.
+//
+// Deprecated: the pull-closure form survives one release as a shim
+// over the batch pipeline. Drive the engine through RunSource or
+// RunBatch (the hier.Simulator surface); trace.FuncSource adapts an
+// existing closure.
 func (e *Engine) Run(next func() (trace.Request, bool), n int) int {
-	return e.RunStream(next, n)
+	return e.RunSource(trace.FuncSource(next), n)
 }
 
 // Observe finalises every shard's observer and merges their output in

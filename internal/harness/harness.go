@@ -242,15 +242,7 @@ func replaySharded(cfg Config, reqs []trace.Request) error {
 	if err != nil {
 		return err
 	}
-	i := 0
-	eng.RunStream(func() (trace.Request, bool) {
-		if i >= len(reqs) {
-			return trace.Request{}, false
-		}
-		req := reqs[i]
-		i++
-		return req, true
-	}, len(reqs))
+	eng.RunSource(trace.NewSliceSource(reqs), len(reqs))
 	eng.Drain()
 	// Each shard is an independent hierarchy sized at 1/N of the
 	// configured capacities (see engine.New); the per-shard model must

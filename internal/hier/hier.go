@@ -148,6 +148,12 @@ type System struct {
 	// lastRead and streak detect sequential read runs for readahead.
 	lastRead int64
 	streak   int
+	// top aliases tiers[0] with its concrete type so the batched path
+	// can account PDC outcomes it resolved up front; res and runBuf are
+	// the lazily built RunBatch/RunSource scratch (see batch.go).
+	top    *dramTier
+	res    *resolver
+	runBuf []trace.Request
 }
 
 // diskBacking adapts the drive to the Flash cache's Backing interface.
@@ -280,6 +286,7 @@ func (s *System) compose() {
 		s.flashIdx = -1
 	}
 	s.diskIdx = len(s.tiers) - 1
+	s.top = top
 	top.lower = s.tiers[1]
 	s.tierNames = make([]tierMetricNames, len(s.tiers))
 	for i, t := range s.tiers {
@@ -391,6 +398,13 @@ func (s *System) serviceErr() error {
 // FCHT/Flash, then disk, with fills on the way back up. Sequential
 // streams trigger readahead.
 func (s *System) readPage(lba int64) sim.Duration {
+	s.noteRead(lba)
+	return s.servePage(lba)
+}
+
+// noteRead advances the sequential-readahead detector and triggers the
+// prefetcher on an established streak.
+func (s *System) noteRead(lba int64) {
 	if lba == s.lastRead+1 {
 		s.streak++
 	} else {
@@ -400,7 +414,12 @@ func (s *System) readPage(lba int64) sim.Duration {
 	if s.cfg.ReadAhead > 0 && s.streak >= 2 {
 		s.prefetch(lba+1, s.cfg.ReadAhead)
 	}
-	served, lat := s.lookup(lba)
+}
+
+// servePage is readPage after the readahead bookkeeping: the tier walk
+// plus the per-level hit accounting and upward fills.
+func (s *System) servePage(lba int64) sim.Duration {
+	served, lat := s.lookupFrom(0, lba)
 	switch {
 	case served == 0:
 		s.stats.PDCHits++
@@ -416,8 +435,15 @@ func (s *System) readPage(lba int64) sim.Duration {
 // lookup walks the chain until a tier serves lba. The bottom tier
 // always hits.
 func (s *System) lookup(lba int64) (served int, lat sim.Duration) {
-	for i, t := range s.tiers {
-		if hit, l := t.ReadPage(lba); hit {
+	return s.lookupFrom(0, lba)
+}
+
+// lookupFrom walks the chain from tier start until a tier serves lba —
+// the entry point for the batched path, which resolves the PDC outcome
+// up front and starts the walk below it.
+func (s *System) lookupFrom(start int, lba int64) (served int, lat sim.Duration) {
+	for i := start; i < len(s.tiers); i++ {
+		if hit, l := s.tiers[i].ReadPage(lba); hit {
 			return i, l
 		}
 	}

@@ -10,38 +10,37 @@ import (
 )
 
 // Simulator is the driving surface shared by the monolithic System and
-// the sharded engine.Engine: replay a request stream, read the merged
-// hierarchy counters, collect the observability report. Callers that
-// need richer accessors (tier stats, Flash state, power) type-assert
-// or use the concrete types; this interface is the one code path a CLI
-// needs to drive either simulator.
+// the sharded engine.Engine: replay a request stream in batches, read
+// the merged hierarchy counters, collect the observability report.
+// Callers that need richer accessors (tier stats, Flash state, power)
+// type-assert or use the concrete types; this interface is the one
+// code path a CLI needs to drive either simulator.
 type Simulator interface {
-	// Run replays up to n requests from next, returning how many were
-	// consumed (short only when next reports end of stream).
-	Run(next func() (trace.Request, bool), n int) int
+	// RunBatch services every request of batch in order, returning
+	// len(batch). Results are bit-identical for any split of the same
+	// stream into batches.
+	RunBatch(batch []trace.Request) int
+	// RunSource replays up to n requests from src, returning how many
+	// were consumed (short only when src ends early).
+	RunSource(src trace.Source, n int) int
 	// Stats returns the (merged) hierarchy counters.
 	Stats() Stats
 	// Observe finalises and returns the observability report — empty
-	// but non-nil when no observer was configured. Call after Run.
+	// but non-nil when no observer was configured. Call after the run.
 	Observe() *obs.Report
 }
 
 var _ Simulator = (*System)(nil)
 
 // Run replays up to n requests from next serially, returning the
-// number consumed. It is the monolithic counterpart of
-// engine.Engine.Run; degraded-service conditions surface through Err.
+// number consumed.
+//
+// Deprecated: the pull-closure form survives one release as a shim
+// over the batch pipeline. Use RunSource with a trace.Source (or
+// RunBatch for in-memory streams); trace.FuncSource adapts an
+// existing closure.
 func (s *System) Run(next func() (trace.Request, bool), n int) int {
-	consumed := 0
-	for consumed < n {
-		req, ok := next()
-		if !ok {
-			break
-		}
-		consumed++
-		s.Handle(req)
-	}
-	return consumed
+	return s.RunSource(trace.FuncSource(next), n)
 }
 
 // Observe finalises the attached observer and returns its report

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func encodeAll(reqs []Request) []byte {
+	data := AppendBinaryHeader(nil)
+	for _, r := range reqs {
+		data = AppendBinary(data, r)
+	}
+	return data
+}
+
+func drain(t *testing.T, src Source, batch int) []Request {
+	t.Helper()
+	buf := make([]Request, batch)
+	var out []Request
+	for {
+		n := src.Next(buf)
+		if n == 0 {
+			break
+		}
+		out = append(out, buf[:n]...)
+	}
+	if err := SourceErr(src); err != nil {
+		t.Fatalf("source error: %v", err)
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(ops []bool, lbas []uint32) bool {
+		n := len(ops)
+		if len(lbas) < n {
+			n = len(lbas)
+		}
+		var reqs []Request
+		for i := 0; i < n; i++ {
+			op := OpRead
+			if ops[i] {
+				op = OpWrite
+			}
+			reqs = append(reqs, Request{Op: op, LBA: int64(lbas[i]), Pages: i%7 + 1})
+		}
+		src, err := MapBytes(encodeAll(reqs))
+		if err != nil {
+			return false
+		}
+		buf := make([]Request, 3)
+		var got []Request
+		for {
+			k := src.Next(buf)
+			if k == 0 {
+				break
+			}
+			got = append(got, buf[:k]...)
+		}
+		if src.Err() != nil || len(got) != len(reqs) {
+			return false
+		}
+		for i := range reqs {
+			if got[i] != reqs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryWriterMatchesAppend(t *testing.T) {
+	reqs := []Request{
+		{Op: OpRead, LBA: 0, Pages: 1},
+		{Op: OpWrite, LBA: 1 << 40, Pages: 64},
+		{Op: OpRead, LBA: 7, Pages: 0}, // normalised to 1, like the text Writer
+	}
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, r := range reqs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), encodeAll(reqs)) {
+		t.Fatal("BinaryWriter output diverges from AppendBinary")
+	}
+	src, err := MapBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 3 {
+		t.Fatalf("Len = %d", src.Len())
+	}
+	got := drain(t, src, 2)
+	if got[2].Pages != 1 {
+		t.Fatalf("zero pages not normalised: %+v", got[2])
+	}
+}
+
+func TestBinaryWriterEmptyTraceIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := MapBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 0 || src.Next(make([]Request, 4)) != 0 || src.Err() != nil {
+		t.Fatal("header-only trace should be an empty stream")
+	}
+}
+
+func TestMapBytesRejectsMalformed(t *testing.T) {
+	good := encodeAll([]Request{{Op: OpRead, LBA: 1, Pages: 1}})
+	cases := map[string][]byte{
+		"truncated header": good[:4],
+		"bad magic":        append([]byte("NOPE"), good[4:]...),
+		"bad version":      append([]byte(BinaryMagic), 9, 0, 0, 0),
+		"torn record":      good[:len(good)-3],
+	}
+	for name, data := range cases {
+		if _, err := MapBytes(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestMapSourceBadRecordSurfacesErr(t *testing.T) {
+	data := encodeAll([]Request{{Op: OpRead, LBA: 5, Pages: 2}})
+	// Append a record with an invalid op byte by hand.
+	bad := AppendBinary(nil, Request{Op: OpRead, LBA: 9, Pages: 1})
+	bad[12] = 7
+	data = append(data, bad...)
+	src, err := MapBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Request, 8)
+	if n := src.Next(buf); n != 1 {
+		t.Fatalf("Next = %d before the bad record", n)
+	}
+	if src.Next(buf) != 0 || src.Err() == nil {
+		t.Fatal("bad record did not end the stream with an error")
+	}
+	src.Reset()
+	if src.Err() != nil {
+		t.Fatal("Reset should clear the decode error")
+	}
+}
+
+func TestMapFileRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpRead, LBA: 3, Pages: 4},
+		{Op: OpWrite, LBA: 100, Pages: 1},
+	}
+	path := filepath.Join(t.TempDir(), "t.ftrace")
+	if err := os.WriteFile(path, encodeAll(reqs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, src, 16)
+	if len(got) != 2 || got[0] != reqs[0] || got[1] != reqs[1] {
+		t.Fatalf("MapFile replay = %+v", got)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal("double Close should be a no-op")
+	}
+	if _, err := MapFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// FuzzBinaryRoundTrip checks the binary codec both ways: any request
+// survives encode→decode unchanged, and arbitrary mutated bytes either
+// decode to valid requests or surface an error — never a panic and
+// never an invalid request.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add(int64(0), 1, false, []byte{})
+	f.Add(int64(1<<40), 64, true, []byte("FDCT\x01\x00\x00\x00"))
+	f.Add(int64(7), 3, false, bytes.Repeat([]byte{0xff}, 40))
+	f.Fuzz(func(t *testing.T, lba int64, pages int, write bool, raw []byte) {
+		op := OpRead
+		if write {
+			op = OpWrite
+		}
+		if lba >= 0 {
+			want := Request{Op: op, LBA: lba, Pages: pages}
+			src, err := MapBytes(AppendBinary(AppendBinaryHeader(nil), want))
+			if err != nil {
+				t.Fatalf("fresh encoding rejected: %v", err)
+			}
+			var buf [1]Request
+			if src.Next(buf[:]) != 1 {
+				t.Fatalf("fresh encoding did not decode: %v", src.Err())
+			}
+			if want.Pages < 1 {
+				want.Pages = 1
+			}
+			if want.Pages > math.MaxInt32 {
+				want.Pages = math.MaxInt32
+			}
+			if buf[0] != want {
+				t.Fatalf("round trip %+v != %+v", buf[0], want)
+			}
+		}
+		src, err := MapBytes(raw)
+		if err != nil {
+			return
+		}
+		buf := make([]Request, 4)
+		for i := 0; i < 1<<16; i++ {
+			n := src.Next(buf)
+			if n == 0 {
+				return
+			}
+			for _, r := range buf[:n] {
+				if r.Pages < 1 || r.LBA < 0 || (r.Op != OpRead && r.Op != OpWrite) {
+					t.Fatalf("invalid request decoded: %+v", r)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,23 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package trace
+
+import (
+	"fmt"
+	"os"
+)
+
+// MapFile opens a binary-format trace (tracegen -binary) as a Source.
+// On platforms without the mmap syscall surface the file is read into
+// memory once instead of mapped; the decode path is identical.
+func MapFile(path string) (*MapSource, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	src, err := MapBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return src, nil
+}

@@ -1,0 +1,46 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MapFile opens a binary-format trace (tracegen -binary) as a
+// zero-copy Source: on unix platforms the file is mmap'd read-only, so
+// replay decodes records straight out of the page cache with no read
+// syscalls and no intermediate buffers. Close releases the mapping.
+//
+// An empty record region (a header-only file) is a valid, immediately
+// exhausted source.
+func MapFile(path string) (*MapSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("trace: %s: %d bytes does not fit the address space", path, size)
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("trace: %s: empty file is not a binary trace", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("trace: mmap %s: %w", path, err)
+	}
+	src, err := MapBytes(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	src.unmap = func() error { return syscall.Munmap(data) }
+	return src, nil
+}

@@ -144,32 +144,109 @@ func NewReader(r io.Reader) *Reader {
 
 // Read returns the next request, or io.EOF when exhausted.
 func (t *Reader) Read() (Request, error) {
+	var req Request
+	if err := t.ReadInto(&req); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// ReadInto parses the next request into *req, returning io.EOF when
+// the stream is exhausted. Unlike Read it is allocation-free on the
+// success path: the line is tokenised byte-wise from the scanner's
+// internal buffer, so a Source adapter can stream a multi-gigabyte
+// text trace without a per-request escape to the heap.
+func (t *Reader) ReadInto(req *Request) error {
 	for t.s.Scan() {
 		t.line++
-		line := t.s.Text()
+		line := t.s.Bytes()
 		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		var op string
-		var req Request
-		if _, err := fmt.Sscanf(line, "%s %d %d", &op, &req.LBA, &req.Pages); err != nil {
-			return Request{}, fmt.Errorf("trace: line %d: %v", t.line, err)
+		rest, op, ok := nextField(line)
+		if !ok {
+			return fmt.Errorf("trace: line %d: want \"OP LBA PAGES\"", t.line)
 		}
-		switch op {
-		case "R":
+		switch {
+		case len(op) == 1 && op[0] == 'R':
 			req.Op = OpRead
-		case "W":
+		case len(op) == 1 && op[0] == 'W':
 			req.Op = OpWrite
 		default:
-			return Request{}, fmt.Errorf("trace: line %d: unknown op %q", t.line, op)
+			return fmt.Errorf("trace: line %d: unknown op %q", t.line, op)
 		}
-		if req.Pages < 1 || req.LBA < 0 {
-			return Request{}, fmt.Errorf("trace: line %d: bad request %+v", t.line, req)
+		rest, lbaField, ok := nextField(rest)
+		if !ok {
+			return fmt.Errorf("trace: line %d: want \"OP LBA PAGES\"", t.line)
 		}
-		return req, nil
+		lba, err := parseInt(lbaField)
+		if err != nil {
+			return fmt.Errorf("trace: line %d: %v", t.line, err)
+		}
+		_, pagesField, ok := nextField(rest)
+		if !ok {
+			return fmt.Errorf("trace: line %d: want \"OP LBA PAGES\"", t.line)
+		}
+		pages, err := parseInt(pagesField)
+		if err != nil {
+			return fmt.Errorf("trace: line %d: %v", t.line, err)
+		}
+		req.LBA = lba
+		req.Pages = int(pages)
+		if req.Pages < 1 || int64(int(pages)) != pages || req.LBA < 0 {
+			return fmt.Errorf("trace: line %d: bad request %+v", t.line, *req)
+		}
+		return nil
 	}
 	if err := t.s.Err(); err != nil {
-		return Request{}, err
+		return err
 	}
-	return Request{}, io.EOF
+	return io.EOF
+}
+
+// nextField skips leading spaces/tabs in b and returns the remainder
+// after the first whitespace-delimited token, the token itself, and
+// whether one was found.
+func nextField(b []byte) (rest, field []byte, ok bool) {
+	i := 0
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+		i++
+	}
+	start := i
+	for i < len(b) && b[i] != ' ' && b[i] != '\t' {
+		i++
+	}
+	if i == start {
+		return b[i:], nil, false
+	}
+	return b[i:], b[start:i], true
+}
+
+// parseInt is a minimal base-10 signed parser over a byte field with
+// overflow detection, mirroring what fmt.Sscanf "%d" accepted without
+// the string conversion.
+func parseInt(b []byte) (int64, error) {
+	neg := false
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	if len(b) == 0 {
+		return 0, fmt.Errorf("bad integer %q", b)
+	}
+	var v int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad integer %q", b)
+		}
+		d := int64(c - '0')
+		if v > (1<<63-1-d)/10 {
+			return 0, fmt.Errorf("integer %q out of range", b)
+		}
+		v = v*10 + d
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
 }
