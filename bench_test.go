@@ -205,6 +205,57 @@ func BenchmarkEngineReplayBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineReplayChannels times the 200k-request Zipf replay at
+// 4 shards across NAND scheduler geometries: the serial default, pure
+// channel striping, and channels+banks+write-buffer. The scheduler
+// sits on the replay hot path (every device command books channel and
+// bank timelines), so this pins its overhead — and the serial row must
+// track BenchmarkEngineReplay/shards=4, since the default geometry is
+// the same simulation through the same code path.
+func BenchmarkEngineReplayChannels(b *testing.B) {
+	const requests = 200000
+	const shards = 4
+	for _, geo := range []struct {
+		name     string
+		channels int
+		banks    int
+		wbuf     int
+	}{
+		{"serial", 1, 1, 0},
+		{"channels=4", 4, 1, 0},
+		{"channels=8-banks=4-wbuf=16", 8, 4, 16},
+	} {
+		b.Run(geo.name, func(b *testing.B) {
+			fc := DefaultCacheConfig(64 << 20)
+			fc.Sched = SchedConfig{Channels: geo.channels, Banks: geo.banks, WriteBufPages: geo.wbuf}
+			for i := 0; i < b.N; i++ {
+				eng, err := NewEngine(EngineConfig{
+					Shards: shards,
+					Hier:   SystemConfig{DRAMBytes: 8 << 20, FlashBytes: 64 << 20, Seed: 3, Flash: fc},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sources := make([]EngineSource, shards)
+				for s := range sources {
+					g, err := NewWorkload("alpha2", 1.0/16, 3)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sources[s] = NewPartitionedWorkload(g, s, shards)
+				}
+				if err := eng.RunSources(sources, requests); err != nil {
+					b.Fatal(err)
+				}
+				if got := eng.Stats().Requests; got != requests {
+					b.Fatalf("replayed %d requests, want %d", got, requests)
+				}
+			}
+			b.ReportMetric(float64(requests)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
 // BenchmarkWorkloadNext times trace generation alone.
 func BenchmarkWorkloadNext(b *testing.B) {
 	for _, name := range []string{"uniform", "alpha2", "exp1", "dbt2"} {

@@ -11,6 +11,7 @@
 //	fdcsim -workload SPECWeb99 -unified -no-programmable
 //	fdcsim -faults "read=2e-3,program=1e-3,erase=1e-3,grown=0.2,seed=7" -scrub 512
 //	fdcsim -workload alpha2 -shards 8 -workers 8
+//	fdcsim -channels 4 -banks 4 -wbuf 16
 //	fdcsim -metrics-out metrics.jsonl -metrics-interval 50ms -trace-events events.jsonl
 //	fdcsim -http :8080   (live Prometheus text at /metrics, pprof at /debug/pprof/)
 //
@@ -28,6 +29,13 @@
 // snapshot); -trace-events records management decisions (GC, wear
 // rotation, ECC/density reconfiguration, retirement, read retries,
 // scrubbing, shard merges) into a bounded ring of -trace-cap events.
+//
+// The -channels/-banks/-wbuf flags configure the NAND command
+// scheduler: block-striped channel/bank parallelism plus a coalescing
+// write buffer with delayed writeback. The defaults (1/1/0) model the
+// paper's serial device and reproduce its output byte-for-byte; any
+// other geometry changes timing and wear only — never hit/miss
+// semantics — and adds scheduler counters to the report.
 //
 // The -faults flag attaches a deterministic fault-injection campaign
 // (comma-separated key=value list) to the Flash device; the report
@@ -54,6 +62,7 @@ import (
 	"flashdc/internal/obs"
 	"flashdc/internal/policy"
 	"flashdc/internal/power"
+	"flashdc/internal/sched"
 	"flashdc/internal/server"
 	"flashdc/internal/sim"
 	"flashdc/internal/tables"
@@ -81,19 +90,13 @@ type simulator interface {
 	Drain()
 	Err() error
 	Observers() []*obs.Observer
+	SchedStats() sched.Stats
 }
 
 var (
 	_ simulator = (*hier.System)(nil)
 	_ simulator = (*engine.Engine)(nil)
 )
-
-// legacySimulator is the deprecated pull-closure surface, kept only so
-// -batch 0 can exercise the old per-request path for one release; it
-// disappears with the closure shims.
-type legacySimulator interface {
-	Run(next func() (trace.Request, bool), n int) int
-}
 
 func parseSize(s string) (int64, error) {
 	s = strings.TrimSpace(strings.ToUpper(s))
@@ -171,7 +174,7 @@ func main() {
 		workloadName = flag.String("workload", "dbt2", "Table 4 workload name (ignored with -trace)")
 		traceFile    = flag.String("trace", "", "replay a text trace file instead of generating")
 		traceBinary  = flag.String("trace-binary", "", "replay a binary trace file (tracegen -binary) via a zero-copy mapping")
-		batchSize    = flag.Int("batch", trace.DefaultBatch, "requests per replay batch (0 = legacy per-request path)")
+		batchSize    = flag.Int("batch", trace.DefaultBatch, "requests per replay batch")
 		scale        = flag.Float64("scale", 1.0/16, "footprint scale for generated workloads")
 		requests     = flag.Int("requests", 200000, "requests to simulate")
 		dramSize     = flag.String("dram", "16M", "DRAM primary disk cache size")
@@ -184,6 +187,9 @@ func main() {
 		scrubEvery   = flag.Int("scrub", 0, "background scrub scan interval in host operations (0 disables)")
 		shards       = flag.Int("shards", 1, "hash-partition the LBA space across N independent shards")
 		workers      = flag.Int("workers", 0, "concurrent shard replay goroutines (0 = one per shard)")
+		channels     = flag.Int("channels", 1, "NAND channels (blocks striped block%channels; 1 = the paper's serial device)")
+		banks        = flag.Int("banks", 1, "NAND banks per channel (erases occupy only their bank)")
+		wbufPages    = flag.Int("wbuf", 0, "coalescing write-buffer capacity in pages (0 disables)")
 
 		policyEvict  = flag.String("policy-evict", "", "flash eviction policy (default "+policy.DefaultName(policy.KindEvict)+"; see -list-policies)")
 		policyAdmit  = flag.String("policy-admit", "", "flash admission policy (default "+policy.DefaultName(policy.KindAdmit)+"; see -list-policies)")
@@ -240,8 +246,14 @@ func main() {
 		usageErr("-disturb-reads %g is negative", *disturbReads)
 	case *refreshThresh < 0 || *refreshThresh > 1:
 		usageErr("-refresh-threshold %g outside (0,1] (0 means 1.0)", *refreshThresh)
-	case *batchSize < 0:
-		usageErr("-batch %d is negative (0 selects the legacy per-request path)", *batchSize)
+	case *batchSize < 1:
+		usageErr("-batch %d: need at least one request per batch", *batchSize)
+	case *channels < 1:
+		usageErr("-channels %d: need at least one channel", *channels)
+	case *banks < 1:
+		usageErr("-banks %d: need at least one bank per channel", *banks)
+	case *wbufPages < 0:
+		usageErr("-wbuf %d is negative", *wbufPages)
 	case *traceFile != "" && *traceBinary != "":
 		usageErr("-trace and -trace-binary are mutually exclusive")
 	case *traceFile == "" && *traceBinary == "" && !(*scale > 0):
@@ -251,6 +263,14 @@ func main() {
 	case (*checkpointIn != "" || *checkpointOut != "") && (*traceFile != "" || *traceBinary != ""):
 		usageErr("-checkpoint-in/-checkpoint-out support generated workloads only, not -trace/-trace-binary " +
 			"(a trace file's stream position cannot be replayed deterministically)")
+	}
+	schedCfg := sched.Config{Channels: *channels, Banks: *banks, WriteBufPages: *wbufPages}
+	switch {
+	case flash == 0 && schedCfg.Active():
+		usageErr("-channels/-banks/-wbuf configure the Flash NAND scheduler; -flash 0 builds no Flash tier")
+	case (*checkpointIn != "" || *checkpointOut != "") && schedCfg.Active():
+		usageErr("-checkpoint-in/-checkpoint-out support the default serial device only " +
+			"(in-flight channel/bank/write-buffer state is not checkpointable)")
 	}
 	if *faultSpec != "" {
 		plan, err := parseFaults(*faultSpec)
@@ -278,6 +298,7 @@ func main() {
 	fc.Disturb = wear.DisturbParams{ReadsPerBit: *disturbReads}
 	fc.RefreshThreshold = *refreshThresh
 	fc.Policies = pset
+	fc.Sched = schedCfg
 	if *faultSpec != "" {
 		plan, err := parseFaults(*faultSpec)
 		die(err)
@@ -377,45 +398,37 @@ func main() {
 	}
 
 	stats := trace.NewStats()
-	// runSource drives sys at the -batch granularity; -batch 0 keeps the
-	// legacy per-request path alive for one release. After the run the
+	// runSource drives sys at the -batch granularity. After the run the
 	// source's sticky stream error (a torn trace file, a bad binary
 	// record) is fatal like any other input error.
 	runSource := func(src trace.Source, n int) {
-		if *batchSize == 0 {
-			var one [1]trace.Request
-			sys.(legacySimulator).Run(func() (trace.Request, bool) {
-				if src.Next(one[:]) == 0 {
-					return trace.Request{}, false
-				}
-				return one[0], true
-			}, n)
-		} else {
-			buf := make([]trace.Request, *batchSize)
-			for consumed := 0; consumed < n; {
-				chunk := len(buf)
-				if rem := n - consumed; rem < chunk {
-					chunk = rem
-				}
-				k := src.Next(buf[:chunk])
-				if k == 0 {
-					break
-				}
-				sys.RunBatch(buf[:k])
-				consumed += k
+		buf := make([]trace.Request, *batchSize)
+		for consumed := 0; consumed < n; {
+			chunk := len(buf)
+			if rem := n - consumed; rem < chunk {
+				chunk = rem
 			}
+			k := src.Next(buf[:chunk])
+			if k == 0 {
+				break
+			}
+			sys.RunBatch(buf[:k])
+			consumed += k
 		}
 		die(trace.SourceErr(src))
 	}
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		die(err)
-		defer f.Close()
+		onExit(f.Close)
 		runSource(trace.NewCountingSource(trace.NewStreamSource(trace.NewReader(f)), stats), *requests)
 	} else if *traceBinary != "" {
 		m, err := trace.MapFile(*traceBinary)
 		die(err)
-		defer m.Close()
+		// Registered rather than deferred: die/usageErr and the explicit
+		// os.Exit paths below bypass defers, which used to leak the
+		// mapping on every early exit.
+		onExit(m.Close)
 		runSource(trace.NewCountingSource(m, stats), *requests)
 	} else if eng, ok := sys.(*engine.Engine); ok {
 		// Sharded generated workloads use the per-shard source mode:
@@ -528,6 +541,20 @@ func main() {
 		ds := sys.DeviceStats()
 		fmt.Printf("device ops:        %d reads, %d programs, %d erases\n",
 			ds.Reads, ds.Programs, ds.Erases)
+		if schedCfg.Active() {
+			// Printed only under a non-default geometry: the default
+			// serial-device report stays byte-identical to the pre-scheduler
+			// output.
+			ss := sys.SchedStats()
+			fmt.Printf("nand scheduler:    %d channels x %d banks: %d read, %d program, %d erase cmds\n",
+				*channels, *banks, ss.ReadCmds, ss.ProgramCmds, ss.EraseCmds)
+			fmt.Printf("sched contention:  %d channel waits (%v), %d bank conflicts (%v)\n",
+				ss.ChanWaits, ss.ChanWaitTime, ss.BankConflicts, ss.BankWaitTime)
+			if *wbufPages > 0 {
+				fmt.Printf("write buffer:      %d pages: %d buffered, %d coalesced, %d flushes (%d forced)\n",
+					*wbufPages, ss.BufferedWrites, ss.CoalescedWrites, ss.Flushes, ss.ForcedFlushes)
+			}
+		}
 		if *faultSpec != "" || *scrubEvery > 0 {
 			fs := sys.FaultStats()
 			fmt.Printf("faults injected:   %d read flips over %d reads, %d program fails, %d erase fails, %d grown bad\n",
@@ -538,7 +565,7 @@ func main() {
 				cs.ScrubScans, cs.ScrubMigrations, cs.ScrubTime)
 			if err := sys.CheckIntegrity(); err != nil {
 				fmt.Printf("integrity:         FAILED: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			fmt.Printf("integrity:         OK (%d cached pages verified)\n", sys.ValidPages())
 		}
@@ -556,8 +583,9 @@ func main() {
 	}
 	if err := sys.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "fdcsim: degraded service:", err)
-		os.Exit(1)
+		exit(1)
 	}
+	die(runExitFns())
 }
 
 func pct(a, b int64) float64 {
@@ -567,10 +595,38 @@ func pct(a, b int64) float64 {
 	return 100 * float64(a) / float64(b)
 }
 
+// exitFns holds cleanup work — closing the mapped binary trace or the
+// text trace file — that must run on every exit path. die, usageErr
+// and exit bypass defers (os.Exit), which used to leak the -trace-binary
+// mapping on early exits; registered cleanups run regardless.
+var exitFns []func() error
+
+func onExit(fn func() error) { exitFns = append(exitFns, fn) }
+
+// runExitFns runs the registered cleanups newest-first, reporting the
+// first failure (which matters on an otherwise clean exit: a close
+// error can mean the mapping was torn down mid-replay).
+func runExitFns() error {
+	var first error
+	for i := len(exitFns) - 1; i >= 0; i-- {
+		if err := exitFns[i](); err != nil && first == nil {
+			first = err
+		}
+	}
+	exitFns = nil
+	return first
+}
+
+// exit terminates with code after running the registered cleanups.
+func exit(code int) {
+	runExitFns()
+	os.Exit(code)
+}
+
 func die(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdcsim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -579,5 +635,5 @@ func die(err error) {
 func usageErr(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "fdcsim: "+format+"\n", args...)
 	fmt.Fprintln(os.Stderr, "run with -h for usage")
-	os.Exit(2)
+	exit(2)
 }

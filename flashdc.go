@@ -47,6 +47,7 @@ import (
 	"flashdc/internal/ftl"
 	"flashdc/internal/hier"
 	"flashdc/internal/obs"
+	"flashdc/internal/sched"
 	"flashdc/internal/server"
 	"flashdc/internal/sim"
 	"flashdc/internal/trace"
@@ -64,6 +65,14 @@ type (
 	CacheStats = core.Stats
 	// Backing receives dirty write-backs from the cache.
 	Backing = core.Backing
+	// SchedConfig sizes the NAND command scheduler
+	// (CacheConfig.Sched): channel/bank parallelism and the
+	// coalescing write buffer. The zero value is the paper's serial
+	// device.
+	SchedConfig = sched.Config
+	// SchedStats counts NAND command-scheduler activity (contention
+	// waits, bank conflicts, write-buffer coalescing).
+	SchedStats = sched.Stats
 )
 
 // DefaultCacheConfig returns the paper's configuration (split 90/10,
@@ -158,8 +167,9 @@ func Workloads() []WorkloadSpec { return workload.Catalog }
 
 // Batched request pipeline: TraceSource is the bulk driving surface
 // consumed by System.RunSource and Engine.RunSource (System.RunBatch
-// and Engine.RunBatch take in-memory slices directly). The per-request
-// closure forms survive one release as deprecated shims.
+// and Engine.RunBatch take in-memory slices directly). The deprecated
+// per-request closure shims (System.Run, Engine.RunStream) are gone;
+// wrap a closure with FuncSource instead.
 type (
 	// TraceSource yields a request stream in bulk: Next fills the
 	// buffer from the front and returns how many requests were written

@@ -85,8 +85,16 @@ type CacheCheckpoint struct {
 
 // Checkpoint captures the cache's complete state. The cache must be
 // quiescent (no in-flight operation). It fails on payload-carrying
-// devices, which the token-driven simulation paths never create.
+// devices, which the token-driven simulation paths never create, and
+// on non-default scheduler geometry: the per-channel/per-bank
+// timelines and pending coalescing-buffer flushes are not serialised
+// (BusyUntil carries the whole story only for the serial 1×1 device),
+// so campaigns checkpoint at the default geometry or not at all —
+// fdcsim rejects the combination up front.
 func (c *Cache) Checkpoint() (*CacheCheckpoint, error) {
+	if c.sched.Active() {
+		return nil, fmt.Errorf("core: checkpointing is not supported with a non-default NAND scheduler (channels/banks/write buffer)")
+	}
 	dev, err := c.dev.Checkpoint()
 	if err != nil {
 		return nil, fmt.Errorf("core: checkpointing device: %w", err)
@@ -105,7 +113,7 @@ func (c *Cache) Checkpoint() (*CacheCheckpoint, error) {
 		TotalValid:   c.totalValid,
 		MarginalFreq: c.marginalFreq,
 		Dead:         c.dead,
-		BusyUntil:    c.busyUntil,
+		BusyUntil:    c.sched.Horizon(),
 
 		ScrubTick:  c.scrubTick,
 		ScrubBlock: c.scrubBlock,
@@ -163,6 +171,9 @@ func (c *Cache) Checkpoint() (*CacheCheckpoint, error) {
 // and the final integrity audit reject a checkpoint that does not fit
 // the configuration, before and after applying it respectively.
 func (c *Cache) Restore(ck *CacheCheckpoint) error {
+	if c.sched.Active() {
+		return fmt.Errorf("core: restoring into a non-default NAND scheduler (channels/banks/write buffer) is not supported")
+	}
 	if ck.FlashBytes != c.cfg.FlashBytes {
 		return fmt.Errorf("core: checkpoint for %dB Flash, config says %dB",
 			ck.FlashBytes, c.cfg.FlashBytes)
@@ -246,7 +257,7 @@ func (c *Cache) Restore(ck *CacheCheckpoint) error {
 	c.totalValid = ck.TotalValid
 	c.marginalFreq = ck.MarginalFreq
 	c.dead = ck.Dead
-	c.busyUntil = ck.BusyUntil
+	c.sched.SetBusy(ck.BusyUntil)
 	c.scrubTick = ck.ScrubTick
 	c.scrubBlock = ck.ScrubBlock
 	c.scrubSlot = ck.ScrubSlot

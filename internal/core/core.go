@@ -24,6 +24,7 @@ import (
 	"flashdc/internal/nand"
 	"flashdc/internal/obs"
 	"flashdc/internal/policy"
+	"flashdc/internal/sched"
 	"flashdc/internal/sim"
 	"flashdc/internal/tables"
 	"flashdc/internal/wear"
@@ -148,6 +149,14 @@ type Config struct {
 	// names panic in New — validate user input with policy.Set.Validate
 	// before building a cache.
 	Policies policy.Set
+	// Sched sizes the NAND command scheduler (internal/sched):
+	// channel/bank geometry blocks stripe across and the coalescing
+	// write buffer. The zero value is the serial single-timeline
+	// device of the paper, bit-identical to the historical accounting;
+	// like contention generally it only matters once a clock is
+	// attached (AttachClock). Invalid geometries panic in New —
+	// validate user input with Sched.Validate first.
+	Sched sched.Config
 	// RefreshThreshold tunes the scrubber's refresh policy when
 	// Retention or Disturb is enabled: a valid page whose predicted
 	// total error count (wear + retention + disturb) reaches this
@@ -330,10 +339,12 @@ type Cache struct {
 	// stats at snapshot time; nil means observability is off (the hot
 	// paths pay one untaken branch per decision site).
 	obs *obs.Observer
-	// clock and busyUntil model device contention when attached (see
-	// AttachClock).
-	clock     *sim.Clock
-	busyUntil sim.Time
+	// clock arms contention modelling (see AttachClock); sched owns
+	// the device's channel/bank service timelines and the coalescing
+	// write buffer. At the default 1×1 geometry the scheduler is
+	// bit-identical to the single busy-until timeline it replaced.
+	clock *sim.Clock
+	sched *sched.Scheduler
 	// events queues clock-driven background work (the scrubber); it is
 	// pumped at the start of every host operation.
 	events sim.EventQueue
@@ -457,6 +468,7 @@ func New(cfg Config) *Cache {
 		lat:          ecc.DefaultLatencyModel(),
 		meta:         make([]blockMeta, blocks),
 		marginalFreq: -1,
+		sched:        sched.New(cfg.Sched),
 	}
 	c.evictPol, c.admitPol, c.gcPol = newPolicies(cfg.Policies)
 	if cfg.Backing == nil {
@@ -594,7 +606,7 @@ func (c *Cache) writeRegionIndex() int {
 // their clock before calling this (hier.System.ResetStats does).
 func (c *Cache) ResetDeviceStats() {
 	c.dev.ResetStats()
-	c.busyUntil = 0
+	c.sched.Reset()
 	if c.scrubEvent != nil {
 		c.events.Cancel(c.scrubEvent)
 		c.scrubEvent = nil
@@ -613,6 +625,7 @@ func (c *Cache) ResetDeviceStats() {
 // never doubles the scrub cadence.
 func (c *Cache) AttachClock(clock *sim.Clock) {
 	c.clock = clock
+	c.sched.AttachClock(clock)
 	c.dev.AttachClock(clock)
 	if c.obs != nil {
 		c.obs.SetClock(clock)
@@ -635,30 +648,13 @@ func (c *Cache) pumpEvents() {
 	}
 }
 
-// contentionDelay returns how long a host operation arriving now must
-// wait for the device, and marks the device busy for opTime after it.
-func (c *Cache) contentionDelay(opTime sim.Duration) sim.Duration {
-	if c.clock == nil {
-		return 0
-	}
-	now := c.clock.Now()
-	start := now
-	if c.busyUntil.After(start) {
-		start = c.busyUntil
-	}
-	c.busyUntil = start.Add(opTime)
-	return start.Sub(now)
-}
+// SchedStats returns a copy of the command scheduler's counters.
+func (c *Cache) SchedStats() sched.Stats { return c.sched.Stats() }
 
-// occupyDevice marks the device busy for background work of the given
-// duration starting at the current clock (no-op without a clock).
-func (c *Cache) occupyDevice(d sim.Duration) {
-	if c.clock == nil || d <= 0 {
-		return
-	}
-	start := c.clock.Now()
-	if c.busyUntil.After(start) {
-		start = c.busyUntil
-	}
-	c.busyUntil = start.Add(d)
-}
+// SchedConfig returns the normalised scheduler geometry the cache runs.
+func (c *Cache) SchedConfig() sched.Config { return c.sched.Config() }
+
+// SchedHorizon returns the latest busy-until instant across the
+// device's channels and banks — the makespan of all device work issued
+// so far (bandwidth studies divide operations by it).
+func (c *Cache) SchedHorizon() sim.Time { return c.sched.Horizon() }

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"flashdc/internal/obs"
+	"flashdc/internal/sim"
 )
 
 // AttachObserver wires the cache (and the device and fault injector
@@ -61,9 +62,37 @@ func (c *Cache) AttachObserver(o *obs.Observer) {
 		} else {
 			s.Gauge("cache_dead", 0)
 		}
+		if c.sched.Active() {
+			// Scheduler counters appear only under non-default
+			// geometry, keeping default-run metrics output
+			// byte-identical to the pre-scheduler simulator.
+			ss := c.sched.Stats()
+			s.Counter("sched_read_cmds_total", ss.ReadCmds)
+			s.Counter("sched_program_cmds_total", ss.ProgramCmds)
+			s.Counter("sched_erase_cmds_total", ss.EraseCmds)
+			s.Counter("sched_chan_waits_total", ss.ChanWaits)
+			s.Counter("sched_chan_wait_ns_total", int64(ss.ChanWaitTime))
+			s.Counter("sched_bank_conflicts_total", ss.BankConflicts)
+			s.Counter("sched_bank_wait_ns_total", int64(ss.BankWaitTime))
+			s.Counter("sched_buffered_writes_total", ss.BufferedWrites)
+			s.Counter("sched_coalesced_writes_total", ss.CoalescedWrites)
+			s.Counter("sched_flushes_total", ss.Flushes)
+			s.Counter("sched_forced_flushes_total", ss.ForcedFlushes)
+		}
 		c.dev.Collect(s)
 		c.dev.FaultInjector().Collect(s)
 	})
+	c.sched.SetHooks(
+		func(block int, wait sim.Duration) {
+			c.obs.Event(obs.Event{Kind: obs.KindChanBusy, Block: block, Dur: int64(wait)})
+		},
+		func(block int, wait sim.Duration) {
+			c.obs.Event(obs.Event{Kind: obs.KindBankConflict, Block: block, Dur: int64(wait)})
+		},
+		func(lba int64, block int) {
+			c.obs.Event(obs.Event{Kind: obs.KindWBCoalesce, Block: block, LBA: lba})
+		},
+	)
 }
 
 func clampNonNeg(v float64) float64 {

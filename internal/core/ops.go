@@ -3,6 +3,7 @@ package core
 import (
 	"flashdc/internal/ecc"
 	"flashdc/internal/nand"
+	"flashdc/internal/sched"
 	"flashdc/internal/sim"
 	"flashdc/internal/tables"
 	"flashdc/internal/wear"
@@ -83,8 +84,8 @@ func (c *Cache) Read(lba int64) ReadOutcome {
 		lat += c.lat.DecodeLatencyClean(st.Strength)
 	}
 	// With contention modelling, a read colliding with background GC
-	// waits for the device.
-	lat += c.contentionDelay(res.Latency)
+	// or traffic on its block's channel/bank waits for the device.
+	lat += c.sched.Foreground(addr.Block, sched.OpRead, res.Latency)
 	c.touch(addr.Block)
 	saturated := c.fpst.IncAccess(addr)
 	c.stats.Hits++
@@ -179,7 +180,7 @@ func (c *Cache) Insert(lba int64) sim.Duration {
 	c.stats.Fills++
 	r := c.regions[readRegion]
 	addr, lat := c.allocProgram(r, c.allocMode(), lba)
-	lat += c.contentionDelay(lat)
+	lat += c.sched.Foreground(addr.Block, sched.OpProgram, lat)
 	if c.dead {
 		return lat
 	}
@@ -222,7 +223,16 @@ func (c *Cache) Write(lba int64) sim.Duration {
 	}
 	r := c.regions[c.writeRegionIndex()]
 	addr, lat := c.allocProgram(r, c.allocMode(), lba)
-	lat += c.contentionDelay(lat)
+	if !c.dead && c.sched.BufferActive() {
+		// Delayed writeback: the program's device state is already
+		// final (allocProgram above), but its bank occupancy defers to
+		// the write buffer's coalescing window; the host pays only the
+		// admission wait. A rewrite of this LBA inside the window
+		// supersedes the deferred flush.
+		lat = c.sched.BufferWrite(lba, addr.Block, lat)
+	} else {
+		lat += c.sched.Foreground(addr.Block, sched.OpProgram, lat)
+	}
 	if c.dead {
 		// The cache died mid-allocation; the dirty page goes straight
 		// to the backing store instead of being lost.
@@ -244,6 +254,10 @@ func (c *Cache) allocMode() wear.Mode { return c.cfg.InitialMode }
 // end ("the disk is eventually updated by flushing the write disk
 // cache").
 func (c *Cache) Flush() int {
+	// Pending deferred writebacks land on their banks now; the data
+	// has been in the device since admission, so this is purely the
+	// occupancy the coalescing window was still holding back.
+	c.sched.Drain()
 	if len(c.regions) != 2 {
 		return 0
 	}

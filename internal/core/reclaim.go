@@ -6,6 +6,7 @@ import (
 
 	"flashdc/internal/ecc"
 	"flashdc/internal/nand"
+	"flashdc/internal/sched"
 	"flashdc/internal/sim"
 	"flashdc/internal/wear"
 )
@@ -485,6 +486,7 @@ func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
 			panic(err)
 		}
 		t += res.Latency
+		c.sched.Background(a.Block, sched.OpRead, res.Latency)
 		c.invalidate(a)
 		dst, lat := c.allocProgram(r, mode, lba)
 		if c.dead {
@@ -497,6 +499,7 @@ func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
 			break
 		}
 		t += lat
+		c.sched.Background(dst.Block, sched.OpProgram, lat)
 		d := c.fpst.At(dst)
 		d.Access = access
 		d.StagedStrength = maxStrength(d.StagedStrength, staged)
@@ -515,7 +518,12 @@ func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
 		c.invalidate(a)
 	}
 	if c.meta[best].state != blockRetired {
-		t += c.applyStagedAndErase(best)
+		// The erase occupies only the victim's bank: sibling banks on
+		// the same channel stay serviceable, which is the contention
+		// relief channel/bank geometry buys GC-heavy workloads.
+		el := c.applyStagedAndErase(best)
+		t += el
+		c.sched.Background(best, sched.OpErase, el)
 		if c.meta[best].state == blockFree {
 			r.addFreeReclaimed(best)
 			if c.evictPol.rotate() {
@@ -524,7 +532,6 @@ func (c *Cache) backgroundGC(r *region, force bool) sim.Duration {
 		}
 	}
 	c.stats.GCTime += t
-	c.occupyDevice(t)
 	c.eventGCEnd(best, int(c.stats.GCRelocations-relocatedBefore), int64(t))
 	return t
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"flashdc/internal/nand"
+	"flashdc/internal/sched"
 	"flashdc/internal/sim"
 	"flashdc/internal/wear"
 )
@@ -111,7 +112,6 @@ func (c *Cache) scrubStep() sim.Duration {
 		c.stats.RetentionScans++
 		c.eventRetentionScan(scanned)
 	}
-	c.occupyDevice(t)
 	return t
 }
 
@@ -163,6 +163,7 @@ func (c *Cache) scrubMigrate(a nand.Addr) sim.Duration {
 		return 0 // raced with retirement; nothing to save
 	}
 	t := res.Latency
+	c.sched.Background(a.Block, sched.OpRead, res.Latency)
 	if c.cfg.Programmable {
 		// The page proved too weak for its configuration: stage the
 		// section 5.2.1 response for its next life.
@@ -180,6 +181,7 @@ func (c *Cache) scrubMigrate(a nand.Addr) sim.Duration {
 		return t
 	}
 	t += lat
+	c.sched.Background(dst.Block, sched.OpProgram, lat)
 	d := c.fpst.At(dst)
 	d.Access = access
 	d.StagedStrength = maxStrength(d.StagedStrength, staged)
@@ -205,6 +207,7 @@ func (c *Cache) refreshRewrite(a nand.Addr) sim.Duration {
 		return 0 // raced with retirement; nothing to save
 	}
 	t := res.Latency
+	c.sched.Background(a.Block, sched.OpRead, res.Latency)
 	c.invalidate(a)
 	dst, lat := c.allocProgram(region, mode, lba)
 	if c.dead {
@@ -217,6 +220,7 @@ func (c *Cache) refreshRewrite(a nand.Addr) sim.Duration {
 		return t
 	}
 	t += lat
+	c.sched.Background(dst.Block, sched.OpProgram, lat)
 	d := c.fpst.At(dst)
 	d.Access = access
 	d.StagedStrength = maxStrength(d.StagedStrength, staged)

@@ -183,17 +183,6 @@ func (e *Engine) queueDepth() int {
 	return e.cfg.QueueDepth
 }
 
-// RunStream replays up to n requests from next across the shards,
-// returning the number of global requests consumed.
-//
-// Deprecated: the pull-closure form survives one release as a shim
-// over the batch pipeline. Use RunSource with a trace.Source (or
-// RunBatch for in-memory streams); trace.FuncSource adapts an
-// existing closure.
-func (e *Engine) RunStream(next func() (trace.Request, bool), n int) int {
-	return e.RunSource(trace.FuncSource(next), n)
-}
-
 // Source yields one shard's slice of a global request stream; see
 // workload.Partitioned for the canonical implementation. NextUntil
 // returns the shard's next request among the first limit global

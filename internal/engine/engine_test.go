@@ -87,20 +87,19 @@ func runSources(t *testing.T, shards, workers int) *Engine {
 	return e
 }
 
-// runStream replays the same stream through the deprecated closure
-// shim — kept as the one deliberate use so the compatibility path
-// stays covered until the shims are deleted.
-func runStream(t *testing.T, shards, workers int) *Engine {
+// runGlobalSource replays the same stream as one unpartitioned global
+// source, exercising the router (hash-partitioning) path rather than
+// the pre-partitioned per-shard sources.
+func runGlobalSource(t *testing.T, shards, workers int) *Engine {
 	t.Helper()
 	e, err := New(Config{Shards: shards, Workers: workers, Hier: testConfig()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	g := newTestGen(t)
-	//lint:ignore SA1019 deliberate coverage of the deprecated shim until it is removed.
-	n := e.RunStream(func() (trace.Request, bool) { return g.Next(), true }, testRequests)
+	n := e.RunSource(trace.FuncSource(func() (trace.Request, bool) { return g.Next(), true }), testRequests)
 	if n != testRequests {
-		t.Fatalf("RunStream consumed %d requests, want %d", n, testRequests)
+		t.Fatalf("RunSource consumed %d requests, want %d", n, testRequests)
 	}
 	e.Drain()
 	return e
@@ -160,16 +159,16 @@ func TestWorkerCountIndependence(t *testing.T) {
 	}
 }
 
-// TestRunStreamMatchesRunSources: routing one global stream through
+// TestGlobalSourceMatchesRunSources: routing one global stream through
 // the router must land every shard the exact same request sequence as
 // per-shard filtered generators, so both replay modes merge to the
 // same result.
-func TestRunStreamMatchesRunSources(t *testing.T) {
+func TestGlobalSourceMatchesRunSources(t *testing.T) {
 	const shards = 4
 	src := snap(t, runSources(t, shards, shards))
-	str := snap(t, runStream(t, shards, shards))
+	str := snap(t, runGlobalSource(t, shards, shards))
 	if !reflect.DeepEqual(src, str) {
-		t.Fatalf("modes diverged:\nsources %+v\nstream  %+v", src, str)
+		t.Fatalf("modes diverged:\nsources %+v\nglobal  %+v", src, str)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"flashdc/internal/hier"
 	"flashdc/internal/nand"
 	"flashdc/internal/power"
+	"flashdc/internal/sched"
 	"flashdc/internal/sim"
 	"flashdc/internal/tables"
 )
@@ -90,6 +91,15 @@ func (e *Engine) DeviceStats() nand.Stats {
 		if f := sh.sys.Flash(); f != nil {
 			st.Merge(f.DeviceStats())
 		}
+	}
+	return st
+}
+
+// SchedStats returns the merged NAND command-scheduler counters.
+func (e *Engine) SchedStats() sched.Stats {
+	var st sched.Stats
+	for _, sh := range e.shards {
+		st.Merge(sh.sys.SchedStats())
 	}
 	return st
 }

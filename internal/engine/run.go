@@ -8,7 +8,7 @@ import (
 )
 
 // This file is the sharded half of the batched request pipeline:
-// RunBatch/RunSource replace the closure-driven RunStream. The calling
+// RunBatch/RunSource are the only driving surface. The calling
 // goroutine routes the global stream — splitting each request into
 // per-shard runs of consecutive pages (trace.SplitRuns) — into
 // per-shard batch buffers; full batches land on per-shard run queues
@@ -179,15 +179,6 @@ func (r *runner) flush(s int) {
 // shard), flushing any buffer that reaches the batch size.
 func (r *runner) route(req trace.Request) {
 	shards := len(r.e.shards)
-	if shards == 1 {
-		// Identity partition (only the deprecated shims reach this;
-		// RunBatch/RunSource feed whole slices through directly).
-		r.pending[0] = append(r.pending[0], req)
-		if len(r.pending[0]) >= r.batch {
-			r.flush(0)
-		}
-		return
-	}
 	batch := r.batch
 	if req.Pages <= 1 {
 		// Single-page fast path — the overwhelmingly common case.

@@ -21,6 +21,7 @@ import (
 	"flashdc/internal/hier"
 	"flashdc/internal/model"
 	"flashdc/internal/policy"
+	"flashdc/internal/sched"
 	"flashdc/internal/sim"
 	"flashdc/internal/trace"
 	"flashdc/internal/wear"
@@ -71,6 +72,11 @@ type Config struct {
 	// tolerates any eviction/GC choice through its may-set, so every
 	// registered combination is divergence-checkable.
 	Policies policy.Set
+	// Sched selects the NAND scheduler geometry (channels, banks,
+	// write buffer). The model is timing-blind, so any geometry must
+	// replay with zero divergences — that is the proof the scheduler
+	// changes device *time* and never hit/miss semantics.
+	Sched sched.Config
 }
 
 // Default returns a small, fast, fault-free configuration.
@@ -106,6 +112,7 @@ func hierConfig(cfg Config) hier.Config {
 		fc.Disturb = cfg.Disturb
 		fc.RefreshThreshold = cfg.RefreshThreshold
 		fc.Policies = cfg.Policies
+		fc.Sched = cfg.Sched
 		hc.Flash = fc
 	}
 	return hc

@@ -7,6 +7,7 @@ import (
 
 	"flashdc/internal/fault"
 	"flashdc/internal/policy"
+	"flashdc/internal/sched"
 	"flashdc/internal/sim"
 	"flashdc/internal/trace"
 	"flashdc/internal/wear"
@@ -110,6 +111,57 @@ func TestLockstepSweep(t *testing.T) {
 	}
 	if !testing.Short() && total < 200000 {
 		t.Fatalf("sweep replayed only %d ops, acceptance floor is 200000", total)
+	}
+}
+
+// TestChannelSweep is the scheduler's differential proof: the model is
+// timing-blind, so a channel/bank/write-buffer geometry that replays
+// with zero divergences demonstrably changed only device timing and
+// wear accounting, never which tier served which page. The sweep
+// covers plain channel striping, deep bank interleaving, the
+// coalescing write buffer, a fault campaign under parallel geometry,
+// and the sharded engine path.
+func TestChannelSweep(t *testing.T) {
+	mk := func(name string, seed uint64, geo sched.Config, over func(*Config)) Config {
+		cfg := Default(seed)
+		cfg.Name = name
+		cfg.Ops = 30000
+		cfg.Sched = geo
+		if over != nil {
+			over(&cfg)
+		}
+		return cfg
+	}
+	configs := []Config{
+		mk("channels-4", 21, sched.Config{Channels: 4}, nil),
+		mk("channels-8-banks-4", 22, sched.Config{Channels: 8, Banks: 4}, nil),
+		mk("wbuf-coalescing", 23, sched.Config{Channels: 2, WriteBufPages: 16}, func(c *Config) {
+			c.WriteFrac = 0.6 // rewrite-heavy so coalescing actually fires
+			c.FootprintPages = 256
+		}),
+		mk("channels-faulty", 24, sched.Config{Channels: 4, Banks: 2, WriteBufPages: 8}, func(c *Config) {
+			c.Faults = &fault.Plan{
+				Seed:            99,
+				ReadFlipRate:    0.02,
+				ReadFlipMax:     6,
+				ProgramFailRate: 0.002,
+				GrownBadRate:    0.3,
+			}
+		}),
+		mk("channels-sharded-4", 25, sched.Config{Channels: 4, Banks: 2, WriteBufPages: 8}, func(c *Config) {
+			c.Shards = 4
+		}),
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			if testing.Short() {
+				cfg.Ops = 4000
+			}
+			if err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

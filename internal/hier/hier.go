@@ -202,7 +202,10 @@ func New(cfg Config) *System {
 			return s
 		}
 		s.flash = flash
-		if cfg.FlashContention {
+		if cfg.FlashContention || fc.Sched.Active() {
+			// A non-default scheduler geometry (channels, banks, write
+			// buffer) implies contention modelling: channel/bank
+			// parallelism is meaningless without a device timeline.
 			s.flash.AttachClock(&s.clock)
 		} else {
 			// The device always observes the simulated clock so

@@ -5,6 +5,7 @@ import (
 	"flashdc/internal/fault"
 	"flashdc/internal/nand"
 	"flashdc/internal/obs"
+	"flashdc/internal/sched"
 	"flashdc/internal/tables"
 	"flashdc/internal/trace"
 )
@@ -31,17 +32,6 @@ type Simulator interface {
 }
 
 var _ Simulator = (*System)(nil)
-
-// Run replays up to n requests from next serially, returning the
-// number consumed.
-//
-// Deprecated: the pull-closure form survives one release as a shim
-// over the batch pipeline. Use RunSource with a trace.Source (or
-// RunBatch for in-memory streams); trace.FuncSource adapts an
-// existing closure.
-func (s *System) Run(next func() (trace.Request, bool), n int) int {
-	return s.RunSource(trace.FuncSource(next), n)
-}
 
 // Observe finalises the attached observer and returns its report
 // (empty but non-nil without one).
@@ -88,6 +78,15 @@ func (s *System) Global() tables.FGST {
 // DeviceStats returns the NAND device operation counters (zero without
 // a Flash tier).
 func (s *System) DeviceStats() nand.Stats { return s.flashStats() }
+
+// SchedStats returns the NAND command scheduler's counters (zero
+// without a Flash tier).
+func (s *System) SchedStats() sched.Stats {
+	if s.flash == nil {
+		return sched.Stats{}
+	}
+	return s.flash.SchedStats()
+}
 
 // FaultStats returns the fault injector's counters (zero without a
 // Flash tier or campaign).

@@ -60,6 +60,19 @@ const (
 	// write-back: LBA went straight to the backing store instead of
 	// the write region.
 	KindWriteAround Kind = "write_around"
+	// KindChanBusy is a host command stalled behind earlier traffic on
+	// its block's channel port (Block the command's block; Dur the
+	// wait). Nonzero only with a clock attached and, at the serial
+	// geometry, when background work holds the device.
+	KindChanBusy Kind = "chan_busy"
+	// KindBankConflict is a host command whose channel was free but
+	// whose bank was still serving an earlier command — typically a GC
+	// erase holding the bank while the channel idles.
+	KindBankConflict Kind = "bank_conflict"
+	// KindWBCoalesce is a pending coalescing-write-buffer flush
+	// superseded by a rewrite of the same LBA: the superseded
+	// program's bank occupancy was never charged.
+	KindWBCoalesce Kind = "wb_coalesce"
 	// KindShardMerge marks one shard's results folding into the merged
 	// report (N is the shard's request count; Block is -1).
 	KindShardMerge Kind = "shard_merge"

@@ -32,7 +32,12 @@ func MapFile(path string) (*MapSource, error) {
 	if size == 0 {
 		return nil, fmt.Errorf("trace: %s: empty file is not a binary trace", path)
 	}
-	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	// MAP_PRIVATE, not MAP_SHARED: the mapping is read-only either way,
+	// but a shared mapping tracks concurrent writers of the underlying
+	// file, so a trace being rewritten mid-replay could tear a record
+	// in place under the decoder. A private mapping lets the kernel
+	// keep serving the pages already faulted in.
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
 	if err != nil {
 		return nil, fmt.Errorf("trace: mmap %s: %w", path, err)
 	}

@@ -19,6 +19,7 @@ import (
 	"flashdc/internal/nand"
 	"flashdc/internal/obs"
 	"flashdc/internal/power"
+	"flashdc/internal/sched"
 	"flashdc/internal/tables"
 	"flashdc/internal/trace"
 )
@@ -98,6 +99,7 @@ func TestStatsMergeSumsEveryField(t *testing.T) {
 		dram.Stats{},
 		fault.Stats{},
 		tables.FGST{},
+		sched.Stats{},
 	}
 	for _, s := range structs {
 		typ := reflect.TypeOf(s)
