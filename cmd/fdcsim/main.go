@@ -37,6 +37,16 @@
 // other geometry changes timing and wear only — never hit/miss
 // semantics — and adds scheduler counters to the report.
 //
+// The scheduler's occupancy surface can feed back into the management
+// policies: -policy-gc contention-aware scores GC victims by
+// reclaimable benefit over predicted bank wait and defers non-forced
+// collection under deep foreground backlog, -policy-admit throttle
+// (with -wbuf) sheds cold fills and write-backs while the write buffer
+// is nearly full, and -scrub-feedback (with -scrub and a parallel
+// geometry) batches scrub/refresh migrations into idle bank windows.
+// All feedback reads deterministic simulated-time state, so output
+// stays byte-identical at any -workers count.
+//
 // The -faults flag attaches a deterministic fault-injection campaign
 // (comma-separated key=value list) to the Flash device; the report
 // then includes retry/remap/retirement counters and an end-of-run
@@ -190,6 +200,7 @@ func main() {
 		channels     = flag.Int("channels", 1, "NAND channels (blocks striped block%channels; 1 = the paper's serial device)")
 		banks        = flag.Int("banks", 1, "NAND banks per channel (erases occupy only their bank)")
 		wbufPages    = flag.Int("wbuf", 0, "coalescing write-buffer capacity in pages (0 disables)")
+		scrubFeed    = flag.Bool("scrub-feedback", false, "defer scrub/refresh migrations off busy banks into idle windows (needs -scrub and -channels/-banks > 1)")
 
 		policyEvict  = flag.String("policy-evict", "", "flash eviction policy (default "+policy.DefaultName(policy.KindEvict)+"; see -list-policies)")
 		policyAdmit  = flag.String("policy-admit", "", "flash admission policy (default "+policy.DefaultName(policy.KindAdmit)+"; see -list-policies)")
@@ -271,6 +282,10 @@ func main() {
 	case (*checkpointIn != "" || *checkpointOut != "") && schedCfg.Active():
 		usageErr("-checkpoint-in/-checkpoint-out support the default serial device only " +
 			"(in-flight channel/bank/write-buffer state is not checkpointable)")
+	case *scrubFeed && !schedCfg.Active():
+		usageErr("-scrub-feedback consults the NAND scheduler's occupancy; configure a parallel geometry (-channels/-banks/-wbuf)")
+	case *scrubFeed && *scrubEvery <= 0:
+		usageErr("-scrub-feedback defers scrub migrations; enable the scrubber with -scrub first")
 	}
 	if *faultSpec != "" {
 		plan, err := parseFaults(*faultSpec)
@@ -288,6 +303,9 @@ func main() {
 	if flash == 0 && !pset.IsDefault() {
 		usageErr("-policy-evict/-policy-admit/-policy-gc select Flash cache policies; -flash 0 builds no Flash tier")
 	}
+	if pset.Normalized().Admit == policy.AdmitThrottle && *wbufPages == 0 {
+		usageErr("-policy-admit throttle reads the write-buffer fill; configure one with -wbuf")
+	}
 
 	fc := core.DefaultConfig(flash)
 	fc.Split = !*unified
@@ -299,6 +317,7 @@ func main() {
 	fc.RefreshThreshold = *refreshThresh
 	fc.Policies = pset
 	fc.Sched = schedCfg
+	fc.ScrubFeedback = *scrubFeed
 	if *faultSpec != "" {
 		plan, err := parseFaults(*faultSpec)
 		die(err)
@@ -515,6 +534,8 @@ func main() {
 	fmt.Printf("disk reads:        %d\n", st.DiskReads)
 	fmt.Printf("avg latency:       %v\n", st.AvgLatency())
 	fmt.Printf("latency profile:   %v\n", sys.Latencies())
+	fmt.Printf("request latency:   p99=%v p999=%v\n",
+		sys.Latencies().Quantile(0.99), sys.Latencies().Quantile(0.999))
 	srv := server.Default()
 	fmt.Printf("est. bandwidth:    %.1f MB/s (%.0f req/s)\n",
 		srv.Bandwidth(st.AvgLatency())/(1<<20), srv.Throughput(st.AvgLatency()))
@@ -554,6 +575,13 @@ func main() {
 				fmt.Printf("write buffer:      %d pages: %d buffered, %d coalesced, %d flushes (%d forced)\n",
 					*wbufPages, ss.BufferedWrites, ss.CoalescedWrites, ss.Flushes, ss.ForcedFlushes)
 			}
+		}
+		n := pset.Normalized()
+		if n.GC == policy.GCContentionAware || n.Admit == policy.AdmitThrottle || *scrubFeed {
+			// Printed only with a feedback path configured: feedback-off
+			// reports stay byte-identical to the pre-feedback output.
+			fmt.Printf("sched feedback:    %d GC deferrals, %d throttle engagements, %d scrub deferrals (%d idle windows)\n",
+				cs.GCDeferred, cs.AdmitThrottleFlips, cs.ScrubDeferred, cs.ScrubWindows)
 		}
 		if *faultSpec != "" || *scrubEvery > 0 {
 			fs := sys.FaultStats()

@@ -157,6 +157,16 @@ type Config struct {
 	// attached (AttachClock). Invalid geometries panic in New —
 	// validate user input with Sched.Validate first.
 	Sched sched.Config
+	// ScrubFeedback schedules scrub/refresh migrations into idle
+	// channel/bank windows: an at-risk page whose bank is busy
+	// (sched.BankWait past scrubDeferWait) is deferred instead of
+	// queueing its rewrite behind in-flight commands, and the next
+	// scrub increment retries the deferred set first — re-validated
+	// against current state — as soon as their banks go idle. Takes
+	// effect only with an attached clock and a non-default Sched
+	// geometry (otherwise there is no occupancy to consult and the
+	// scrubber runs on cadence alone, byte-identical to the default).
+	ScrubFeedback bool
 	// RefreshThreshold tunes the scrubber's refresh policy when
 	// Retention or Disturb is enabled: a valid page whose predicted
 	// total error count (wear + retention + disturb) reaches this
@@ -257,6 +267,18 @@ type Stats struct {
 	// routed straight to the backing store instead of the write
 	// region.
 	AdmitRejects, WriteArounds int64
+
+	// Scheduler-feedback activity (nonzero only under the
+	// contention-aware GC or throttle admission policies, or
+	// ScrubFeedback). GCDeferred counts non-forced background
+	// collections deferred under deep foreground backlog;
+	// AdmitThrottleFlips the admission throttle's engagements (the
+	// on-transitions of its hysteresis); ScrubDeferred the scrub/
+	// refresh migrations pushed off a busy bank; ScrubWindows the
+	// scrub increments that landed at least one deferred migration in
+	// an idle window.
+	GCDeferred, AdmitThrottleFlips int64
+	ScrubDeferred, ScrubWindows    int64
 }
 
 // Merge adds other's counters into s, combining the activity of
@@ -291,6 +313,10 @@ func (s *Stats) Merge(other Stats) {
 	s.DisturbResets += other.DisturbResets
 	s.AdmitRejects += other.AdmitRejects
 	s.WriteArounds += other.WriteArounds
+	s.GCDeferred += other.GCDeferred
+	s.AdmitThrottleFlips += other.AdmitThrottleFlips
+	s.ScrubDeferred += other.ScrubDeferred
+	s.ScrubWindows += other.ScrubWindows
 }
 
 // MissRate returns read misses over read lookups.
@@ -357,6 +383,10 @@ type Cache struct {
 	scrubBlock, scrubSlot int
 	scrubSub              int
 	scrubEvent            *sim.Event
+	// scrubDeferred is the idle-window queue of at-risk pages whose
+	// migration was deferred off a busy bank (Config.ScrubFeedback);
+	// each entry is re-validated against current state when retried.
+	scrubDeferred []nand.Addr
 }
 
 // mustTable unwraps a tables constructor result: New validates every
@@ -470,7 +500,7 @@ func New(cfg Config) *Cache {
 		marginalFreq: -1,
 		sched:        sched.New(cfg.Sched),
 	}
-	c.evictPol, c.admitPol, c.gcPol = newPolicies(cfg.Policies)
+	c.evictPol, c.admitPol, c.gcPol = newPolicies(c, cfg.Policies)
 	if cfg.Backing == nil {
 		c.cfg.Backing = &discard{}
 	}
@@ -607,6 +637,10 @@ func (c *Cache) writeRegionIndex() int {
 func (c *Cache) ResetDeviceStats() {
 	c.dev.ResetStats()
 	c.sched.Reset()
+	// The deferred scrub queue indexes the dropped timelines' idle
+	// windows; retrying against re-anchored banks is meaningless, and
+	// the patrol cursor will revisit any page still at risk.
+	c.scrubDeferred = c.scrubDeferred[:0]
 	if c.scrubEvent != nil {
 		c.events.Cancel(c.scrubEvent)
 		c.scrubEvent = nil

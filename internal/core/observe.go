@@ -62,6 +62,16 @@ func (c *Cache) AttachObserver(o *obs.Observer) {
 		} else {
 			s.Gauge("cache_dead", 0)
 		}
+		if c.feedbackActive() {
+			// Feedback counters appear only when a feedback policy is
+			// configured, keeping feedback-off metrics output
+			// byte-identical to the pre-feedback simulator.
+			s.Counter("cache_gc_deferred_total", st.GCDeferred)
+			s.Counter("cache_admit_throttle_flips_total", st.AdmitThrottleFlips)
+			s.Counter("cache_scrub_deferred_total", st.ScrubDeferred)
+			s.Counter("cache_scrub_windows_total", st.ScrubWindows)
+			s.Gauge("sched_wbuf_fill", c.sched.BufferFill())
+		}
 		if c.sched.Active() {
 			// Scheduler counters appear only under non-default
 			// geometry, keeping default-run metrics output
@@ -197,5 +207,28 @@ func (c *Cache) eventAdmitReject(lba int64) {
 func (c *Cache) eventWriteAround(lba int64) {
 	if c.obs != nil {
 		c.obs.Event(obs.Event{Kind: obs.KindWriteAround, Block: -1, LBA: lba})
+	}
+}
+
+func (c *Cache) eventGCDeferred(backlog sim.Duration) {
+	if c.obs != nil {
+		c.obs.Event(obs.Event{Kind: obs.KindGCDeferred, Block: -1, Dur: int64(backlog)})
+	}
+}
+
+func (c *Cache) eventAdmitThrottle(on bool, fill float64) {
+	if c.obs != nil {
+		state := "off"
+		if on {
+			state = "on"
+		}
+		c.obs.Event(obs.Event{Kind: obs.KindAdmitThrottle, Block: -1,
+			To: state, N: int64(fill * 100)})
+	}
+}
+
+func (c *Cache) eventScrubWindow(landed int) {
+	if c.obs != nil {
+		c.obs.Event(obs.Event{Kind: obs.KindScrubWindow, Block: -1, N: int64(landed)})
 	}
 }

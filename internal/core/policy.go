@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"flashdc/internal/policy"
+	"flashdc/internal/sim"
 )
 
 // The three policy decision points of the cache, behind small
@@ -59,9 +60,46 @@ type gcPolicy interface {
 	victim(c *Cache, r *region, force bool) (*list.Element, int)
 }
 
+// Scheduler-feedback thresholds (DESIGN.md section 14). Every
+// comparison is against deterministic scheduler state in simulated
+// time, so feedback decisions replay byte-identically at any worker
+// count.
+const (
+	// throttleHigh / throttleLow bound the admission throttle's
+	// hysteresis band over the write-buffer fill fraction: throttling
+	// engages at the high-water mark and releases only once the
+	// buffer has drained to the low-water mark, so the policy cannot
+	// flap on every flush.
+	throttleHigh = 0.75
+	throttleLow  = 0.375
+	// gcDeferBacklog is the foreground channel backlog above which
+	// non-forced background collection stands down: an erase issued
+	// now would queue its bank behind committed host work.
+	gcDeferBacklog = 2 * sim.Millisecond
+	// gcDeferMax caps consecutive deferrals: a persistently deep
+	// backlog must not starve reclamation — free space would run dry
+	// and force evictions of valid pages, a hit-rate cost no latency
+	// win repays — so after gcDeferMax stand-downs in a row the next
+	// collection opportunity proceeds regardless of backlog.
+	gcDeferMax = 8
+	// gcSteerSlackNum/Den bound how much reclaim benefit idle-bank
+	// steering may surrender: a candidate is a near-tie — eligible to
+	// displace greedy's most-invalid victim — only if its invalid count
+	// is at least Num/Den of greedy's. Kept tight because every invalid
+	// page surrendered is extra relocations and an earlier next
+	// collection.
+	gcSteerSlackNum = 7
+	gcSteerSlackDen = 8
+	// scrubDeferWait is the bank wait above which a scrub/refresh
+	// migration is deferred to a later idle window (scrub.go).
+	scrubDeferWait = 100 * sim.Microsecond
+)
+
 // newPolicies instantiates the configured implementations. The set
-// must already be normalized and validated (New does both).
-func newPolicies(s policy.Set) (evictPolicy, admitPolicy, gcPolicy) {
+// must already be normalized and validated (New does both). The cache
+// receiver exists for the scheduler-feedback policies, which consult
+// c.sched's occupancy surface at decision time.
+func newPolicies(c *Cache, s policy.Set) (evictPolicy, admitPolicy, gcPolicy) {
 	var ev evictPolicy
 	switch s.Evict {
 	case policy.EvictWearLRU:
@@ -77,6 +115,8 @@ func newPolicies(s policy.Set) (evictPolicy, admitPolicy, gcPolicy) {
 		ad = paperAdmit{}
 	case policy.AdmitWLFC:
 		ad = &wlfcAdmit{filter: policy.NewAdmitFilter()}
+	case policy.AdmitThrottle:
+		ad = &throttleAdmit{c: c, filter: policy.NewAdmitFilter()}
 	default:
 		panic(fmt.Sprintf("core: unregistered admit policy %q", s.Admit))
 	}
@@ -88,10 +128,23 @@ func newPolicies(s policy.Set) (evictPolicy, admitPolicy, gcPolicy) {
 		gc = costBenefitGC{}
 	case policy.GCWindowedGreedy:
 		gc = windowedGreedyGC{window: windowedGCWindow}
+	case policy.GCContentionAware:
+		gc = &contentionGC{}
 	default:
 		panic(fmt.Sprintf("core: unregistered gc policy %q", s.GC))
 	}
 	return ev, ad, gc
+}
+
+// feedbackActive reports whether any scheduler-feedback decision path
+// is configured — the gate for the feedback counters in the metrics
+// collector, so feedback-off runs keep byte-identical observability
+// output.
+func (c *Cache) feedbackActive() bool {
+	ps := c.cfg.Policies.Normalized()
+	return ps.GC == policy.GCContentionAware ||
+		ps.Admit == policy.AdmitThrottle ||
+		c.cfg.ScrubFeedback
 }
 
 // ---- Eviction ----
@@ -156,11 +209,61 @@ func (paperAdmit) restore(entries []policy.AdmitEntry) error {
 // its downstream GC/erase traffic.
 type wlfcAdmit struct{ filter *policy.AdmitFilter }
 
-func (a *wlfcAdmit) noteRead(lba int64)            { a.filter.Touch(lba) }
-func (a *wlfcAdmit) admitFill(lba int64) bool      { return a.filter.Hot(lba) }
-func (a *wlfcAdmit) admitWriteback(int64) bool     { return false }
+func (a *wlfcAdmit) noteRead(lba int64)              { a.filter.Touch(lba) }
+func (a *wlfcAdmit) admitFill(lba int64) bool        { return a.filter.Hot(lba) }
+func (a *wlfcAdmit) admitWriteback(int64) bool       { return false }
 func (a *wlfcAdmit) checkpoint() []policy.AdmitEntry { return a.filter.Checkpoint() }
 func (a *wlfcAdmit) restore(entries []policy.AdmitEntry) error {
+	return a.filter.Restore(entries)
+}
+
+// throttleAdmit is scheduler-informed admission throttling: admission
+// degrades while the NAND write buffer is nearly full and recovers
+// when it drains, with hysteresis (throttleHigh/throttleLow) so one
+// flush cannot flap the verdict. While throttled, dirty write-backs
+// go write-around (the disk absorbs them — exactly the traffic that
+// was about to force-flush the buffer into foreground banks) and
+// read-miss fills are admitted only with demonstrated reuse (the
+// WLFC second-touch filter), so the hot set keeps its hit rate while
+// cold fills wait out the pressure. The fill fraction is
+// deterministic simulated-time scheduler state, so the decision
+// sequence is byte-reproducible; without a write buffer it is always
+// zero and the policy is the paper's admit-everything.
+type throttleAdmit struct {
+	c         *Cache
+	filter    *policy.AdmitFilter
+	throttled bool
+}
+
+func (a *throttleAdmit) noteRead(lba int64) { a.filter.Touch(lba) }
+
+// throttledNow advances the hysteresis state against the write
+// buffer's current fill and reports the resulting verdict.
+func (a *throttleAdmit) throttledNow() bool {
+	fill := a.c.sched.BufferFill()
+	if !a.throttled && fill >= throttleHigh {
+		a.throttled = true
+		a.c.stats.AdmitThrottleFlips++
+		a.c.eventAdmitThrottle(true, fill)
+	} else if a.throttled && fill <= throttleLow {
+		a.throttled = false
+		a.c.eventAdmitThrottle(false, fill)
+	}
+	return a.throttled
+}
+
+func (a *throttleAdmit) admitFill(lba int64) bool {
+	return !a.throttledNow() || a.filter.Hot(lba)
+}
+
+func (a *throttleAdmit) admitWriteback(int64) bool { return !a.throttledNow() }
+
+// checkpoint round-trips only the reuse filter: the throttled flag
+// needs no serialisation because checkpoints are refused while the
+// scheduler is active, and without an active write buffer the fill
+// signal is zero and the flag provably false.
+func (a *throttleAdmit) checkpoint() []policy.AdmitEntry { return a.filter.Checkpoint() }
+func (a *throttleAdmit) restore(entries []policy.AdmitEntry) error {
 	return a.filter.Restore(entries)
 }
 
@@ -235,6 +338,97 @@ func (costBenefitGC) victim(c *Cache, r *region, force bool) (*list.Element, int
 		return nil, 0
 	}
 	return bestElem, bestInvalid
+}
+
+// contentionGC is scheduler-informed victim selection: greedy's
+// reclaimable-benefit signal (invalid pages) picks the nominal victim,
+// then among candidates whose benefit is within gcSteerSlack of it the
+// one with the least predicted bank wait wins, so erases steer toward
+// banks that can start immediately instead of queueing behind in-flight
+// commands — without surrendering reclaim efficiency (a less-invalid
+// victim frees less space per erase, which costs more collections than
+// the idle bank saves). While the foreground channel backlog exceeds
+// gcDeferBacklog, non-forced collection defers entirely — the freed
+// space can wait one operation, the queued host commands cannot — but
+// at most gcDeferMax times in a row: a persistently deep backlog must
+// not starve reclamation into evicting valid pages. Forced (watermark)
+// collection never defers: aggregate capacity is already below target.
+// Both signals are deterministic simulated-time scheduler state;
+// without a clock every wait reads zero, so the policy picks greedy's
+// victim whenever greedy would collect (it may additionally collect
+// when greedy's nominal most-invalid candidate fails the payoff bar,
+// because eligibility is filtered per candidate rather than checked on
+// the winner).
+type contentionGC struct {
+	// streak counts deferrals since the last collection that
+	// proceeded; it is a pure function of the (deterministic) decision
+	// sequence, so it needs no checkpoint support — checkpoints are
+	// refused while the scheduler is active, and without a clock the
+	// streak never moves.
+	streak int
+}
+
+func (g *contentionGC) victim(c *Cache, r *region, force bool) (*list.Element, int) {
+	var now sim.Time
+	if c.clock != nil {
+		now = c.clock.Now()
+		if backlog := c.sched.MaxBacklog(now); !force && backlog > gcDeferBacklog &&
+			g.streak < gcDeferMax {
+			g.streak++
+			c.stats.GCDeferred++
+			c.eventGCDeferred(backlog)
+			return nil, 0
+		}
+	}
+	g.streak = 0
+	// Pass 1 — greedy's choice: the most-invalid eligible candidate.
+	// Eligibility is filtered before any steering, so collection
+	// proceeds exactly when greedy's would; only the victim choice may
+	// differ.
+	bestInvalid := 0
+	var bestElem *list.Element
+	for e := r.lru.Back(); e != nil; e = e.Prev() {
+		b := e.Value.(int)
+		m := &c.meta[b]
+		invalid := m.consumed - m.valid
+		if invalid <= 0 {
+			continue
+		}
+		if !force && invalid*2 < m.consumed {
+			continue
+		}
+		if invalid > bestInvalid {
+			bestInvalid, bestElem = invalid, e
+		}
+	}
+	if bestElem == nil {
+		return nil, 0
+	}
+	if c.clock == nil {
+		return bestElem, bestInvalid
+	}
+	// Pass 2 — idle-bank steering among near-ties: any eligible
+	// candidate whose benefit is within gcSteerSlack of greedy's may
+	// displace it if its bank is predicted to be free sooner. Ties on
+	// wait keep the more-invalid (then more-LRU) candidate.
+	chosenInvalid := bestInvalid
+	bestWait := c.sched.BankWait(bestElem.Value.(int), now)
+	for e := r.lru.Back(); e != nil; e = e.Prev() {
+		b := e.Value.(int)
+		m := &c.meta[b]
+		invalid := m.consumed - m.valid
+		if invalid <= 0 || invalid*gcSteerSlackDen < bestInvalid*gcSteerSlackNum {
+			continue
+		}
+		if !force && invalid*2 < m.consumed {
+			continue
+		}
+		w := c.sched.BankWait(b, now)
+		if w < bestWait || (w == bestWait && invalid > chosenInvalid) {
+			bestWait, chosenInvalid, bestElem = w, invalid, e
+		}
+	}
+	return bestElem, chosenInvalid
 }
 
 // windowedGCWindow is the windowed-greedy window size: the candidate

@@ -85,6 +85,7 @@ func (c *Cache) scrubStep() sim.Duration {
 	}
 	predictive := c.cfg.Retention.Enabled() || c.cfg.Disturb.Enabled()
 	var t sim.Duration
+	t += c.scrubDrainDeferred(predictive)
 	scanned := 0
 	for i := 0; i < c.cfg.ScrubBatch; i++ {
 		a := c.nextScrubAddr()
@@ -98,10 +99,14 @@ func (c *Cache) scrubStep() sim.Duration {
 			continue
 		}
 		if c.dev.WearBitErrors(a) >= int(st.Strength) {
-			t += c.scrubMigrate(a)
+			if !c.deferScrub(a) {
+				t += c.scrubMigrate(a)
+			}
 		} else if predictive &&
 			float64(c.dev.BitErrors(a)) >= c.cfg.RefreshThreshold*float64(st.Strength) {
-			t += c.refreshRewrite(a)
+			if !c.deferScrub(a) {
+				t += c.refreshRewrite(a)
+			}
 		}
 		if c.dead {
 			break
@@ -111,6 +116,87 @@ func (c *Cache) scrubStep() sim.Duration {
 	if predictive && scanned > 0 {
 		c.stats.RetentionScans++
 		c.eventRetentionScan(scanned)
+	}
+	return t
+}
+
+// scrubFeedbackOn reports whether the idle-window scrub feedback is in
+// effect: opted in, with a clock to read occupancy against and a sched
+// geometry whose bank timelines make BankWait meaningful.
+func (c *Cache) scrubFeedbackOn() bool {
+	return c.cfg.ScrubFeedback && c.clock != nil && c.sched.Active()
+}
+
+// deferScrub pushes an at-risk page onto the idle-window queue when
+// scrub feedback is on and the page's bank is predicted busy past
+// scrubDeferWait, so its migration does not queue behind in-flight
+// foreground commands. Reports whether the page was deferred; with
+// feedback off, an idle bank, or a full queue (bounded at ScrubBatch
+// entries so the backlog cannot grow without limit) the caller
+// migrates immediately as the baseline scrubber would.
+func (c *Cache) deferScrub(a nand.Addr) bool {
+	if !c.scrubFeedbackOn() || len(c.scrubDeferred) >= c.cfg.ScrubBatch {
+		return false
+	}
+	if c.sched.BankWait(a.Block, c.clock.Now()) <= scrubDeferWait {
+		return false
+	}
+	c.scrubDeferred = append(c.scrubDeferred, a)
+	c.stats.ScrubDeferred++
+	return true
+}
+
+// scrubDrainDeferred retries the deferred at-risk pages whose banks
+// have gone idle, before the patrol cursor advances. Each entry is
+// re-validated against current state — the page may have been
+// invalidated, relocated, or its block retired since the deferral, and
+// the wear/retention picture may have changed which migration path (or
+// none) applies. Entries whose banks are still busy keep their place
+// in the queue. A batch that lands at least one migration counts as
+// one idle window (ScrubWindows, scrub_window event).
+func (c *Cache) scrubDrainDeferred(predictive bool) sim.Duration {
+	if len(c.scrubDeferred) == 0 {
+		return 0
+	}
+	if !c.scrubFeedbackOn() {
+		c.scrubDeferred = c.scrubDeferred[:0]
+		return 0
+	}
+	var t sim.Duration
+	landed := 0
+	kept := c.scrubDeferred[:0]
+	for _, a := range c.scrubDeferred {
+		if c.dead {
+			break
+		}
+		if c.meta[a.Block].state == blockRetired {
+			continue
+		}
+		st := c.fpst.At(a)
+		if !st.Valid {
+			continue
+		}
+		atRisk := c.dev.WearBitErrors(a) >= int(st.Strength)
+		refresh := !atRisk && predictive &&
+			float64(c.dev.BitErrors(a)) >= c.cfg.RefreshThreshold*float64(st.Strength)
+		if !atRisk && !refresh {
+			continue
+		}
+		if c.sched.BankWait(a.Block, c.clock.Now()) > scrubDeferWait {
+			kept = append(kept, a)
+			continue
+		}
+		if atRisk {
+			t += c.scrubMigrate(a)
+		} else {
+			t += c.refreshRewrite(a)
+		}
+		landed++
+	}
+	c.scrubDeferred = kept
+	if landed > 0 {
+		c.stats.ScrubWindows++
+		c.eventScrubWindow(landed)
 	}
 	return t
 }

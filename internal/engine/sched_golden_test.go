@@ -7,8 +7,10 @@ import (
 
 	"flashdc/internal/core"
 	"flashdc/internal/hier"
+	"flashdc/internal/policy"
 	"flashdc/internal/sched"
 	"flashdc/internal/trace"
+	"flashdc/internal/wear"
 )
 
 // schedTestConfig is testConfig with a non-default NAND scheduler
@@ -142,5 +144,51 @@ func TestSchedCheckpointRejected(t *testing.T) {
 	e.RunBatch(testStream(t, 100))
 	if _, err := e.Checkpoint("fp", 100); err == nil {
 		t.Fatal("Checkpoint accepted a non-default scheduler geometry")
+	}
+}
+
+// feedbackTestConfig is schedTestConfig with every scheduler-feedback
+// path live on the Flash tier: contention-aware GC, admission
+// throttling against the write buffer, and scrub feedback over an
+// active error-process scrubber.
+func feedbackTestConfig(channels int) hier.Config {
+	cfg := schedTestConfig(channels, 2, 8)
+	fc := cfg.Flash
+	fc.Policies = policy.Set{GC: policy.GCContentionAware, Admit: policy.AdmitThrottle}
+	fc.ScrubEvery = 512
+	fc.ScrubFeedback = true
+	fc.Retention = wear.RetentionParams{Accel: 1e8}
+	fc.Disturb = wear.DisturbParams{ReadsPerBit: 50}
+	fc.RefreshThreshold = 0.75
+	cfg.Flash = fc
+	return cfg
+}
+
+// TestFeedbackGoldenDeterminism: the occupancy feedback loop reads
+// scheduler state (bank idle times, backlog, buffer fill) at decision
+// time, so it is the easiest place for worker scheduling to leak into
+// simulation results. At each channel count the merged report with
+// every feedback path live must stay byte-identical across worker
+// counts and batch splits.
+func TestFeedbackGoldenDeterminism(t *testing.T) {
+	reqs := testStream(t, testRequests)
+	const shards = 4
+	for _, channels := range []int{2, 8} {
+		t.Run(fmt.Sprintf("channels=%d", channels), func(t *testing.T) {
+			cfg := feedbackTestConfig(channels)
+			base := schedSnap(t, runSchedBatched(t, cfg, shards, 1, len(reqs), reqs))
+			for _, workers := range []int{2, shards} {
+				e := runSchedBatched(t, cfg, shards, workers, len(reqs), reqs)
+				if got := schedSnap(t, e); !reflect.DeepEqual(got, base) {
+					t.Fatalf("workers=%d diverged from workers=1:\n got %+v\nwant %+v", workers, got, base)
+				}
+			}
+			for _, chunk := range []int{7, trace.DefaultBatch} {
+				e := runSchedBatched(t, cfg, shards, 0, chunk, reqs)
+				if got := schedSnap(t, e); !reflect.DeepEqual(got, base) {
+					t.Fatalf("chunk=%d diverged from whole-stream replay:\n got %+v\nwant %+v", chunk, got, base)
+				}
+			}
+		})
 	}
 }

@@ -77,6 +77,11 @@ type Config struct {
 	// replay with zero divergences — that is the proof the scheduler
 	// changes device *time* and never hit/miss semantics.
 	Sched sched.Config
+	// ScrubFeedback batches scrub/refresh migrations into idle
+	// channel/bank windows (core.Config.ScrubFeedback). It perturbs
+	// only which background instant a migration runs at, so it too
+	// must replay with zero divergences.
+	ScrubFeedback bool
 }
 
 // Default returns a small, fast, fault-free configuration.
@@ -113,6 +118,7 @@ func hierConfig(cfg Config) hier.Config {
 		fc.RefreshThreshold = cfg.RefreshThreshold
 		fc.Policies = cfg.Policies
 		fc.Sched = cfg.Sched
+		fc.ScrubFeedback = cfg.ScrubFeedback
 		hc.Flash = fc
 	}
 	return hc

@@ -165,16 +165,86 @@ func TestChannelSweep(t *testing.T) {
 	}
 }
 
+// TestFeedbackSweep is the scheduler-feedback differential proof: with
+// the occupancy feedback loop closed — contention-aware GC consulting
+// bank waits, throttle admission consulting the write-buffer fill,
+// scrub feedback batching migrations into idle windows — the
+// timing-blind model must still replay with zero divergences, because
+// every feedback signal is deterministic simulated-time state and the
+// model's may-set bounds any admission the throttle rejects.
+func TestFeedbackSweep(t *testing.T) {
+	mk := func(name string, seed uint64, geo sched.Config, over func(*Config)) Config {
+		cfg := Default(seed)
+		cfg.Name = name
+		cfg.Ops = 30000
+		cfg.Sched = geo
+		if over != nil {
+			over(&cfg)
+		}
+		return cfg
+	}
+	configs := []Config{
+		mk("gc-contention-8x2", 41, sched.Config{Channels: 8, Banks: 2}, func(c *Config) {
+			c.Policies = policy.Set{GC: policy.GCContentionAware}
+		}),
+		mk("admit-throttle-wbuf", 42, sched.Config{Channels: 2, WriteBufPages: 8}, func(c *Config) {
+			c.Policies = policy.Set{Admit: policy.AdmitThrottle}
+			c.WriteFrac = 0.6 // write-heavy so the buffer actually fills
+			c.FootprintPages = 256
+		}),
+		mk("scrub-feedback-windows", 43, sched.Config{Channels: 4, Banks: 2}, func(c *Config) {
+			c.ScrubFeedback = true
+			c.ScrubEvery = 500
+			c.Retention = wear.RetentionParams{Accel: 1e8}
+			c.Disturb = wear.DisturbParams{ReadsPerBit: 50}
+			c.RefreshThreshold = 0.75
+		}),
+		mk("all-feedback", 44, sched.Config{Channels: 4, Banks: 2, WriteBufPages: 8}, func(c *Config) {
+			c.Policies = policy.Set{GC: policy.GCContentionAware, Admit: policy.AdmitThrottle}
+			c.ScrubFeedback = true
+			c.ScrubEvery = 500
+			c.Retention = wear.RetentionParams{Accel: 1e8}
+			c.Disturb = wear.DisturbParams{ReadsPerBit: 50}
+			c.RefreshThreshold = 0.75
+			c.WriteFrac = 0.5
+		}),
+		mk("all-feedback-sharded-4", 45, sched.Config{Channels: 4, Banks: 2, WriteBufPages: 8}, func(c *Config) {
+			c.Policies = policy.Set{GC: policy.GCContentionAware, Admit: policy.AdmitThrottle}
+			c.ScrubFeedback = true
+			c.ScrubEvery = 500
+			c.Shards = 4
+			c.WriteFrac = 0.5
+		}),
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			if testing.Short() {
+				cfg.Ops = 4000
+			}
+			if err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // policySets is the non-default policy matrix the differential
 // harness must clear: each write-reduction policy alone, then the
 // whole zoo at once. The paper-default set is absent because every
-// other test already runs it.
+// other test already runs it. The scheduler-feedback policies appear
+// here without a sched geometry, which exercises their documented
+// clockless degradation (contention-aware selects like greedy,
+// throttle never engages); their fed-back form runs under
+// TestFeedbackSweep with real geometries.
 func policySets() []policy.Set {
 	return []policy.Set{
 		{Admit: policy.AdmitWLFC},
 		{Evict: policy.EvictCMWear},
 		{GC: policy.GCCostBenefit},
 		{GC: policy.GCWindowedGreedy},
+		{GC: policy.GCContentionAware},
+		{Admit: policy.AdmitThrottle},
 		{Evict: policy.EvictCMWear, Admit: policy.AdmitWLFC, GC: policy.GCCostBenefit},
 	}
 }

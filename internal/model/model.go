@@ -92,7 +92,13 @@ func New(cfg hier.Config) (*Model, error) {
 	// Eviction and GC-victim policies only affect which pages the real
 	// Flash *loses*, which the may-set over-approximation already
 	// tolerates; admission affects which pages it can *gain*, so only
-	// that policy needs a mirror here.
+	// that policy needs a mirror here. WLFC is the one admission policy
+	// that needs one: it shrinks the gainable set unconditionally. The
+	// throttle policy only rejects a subset of what the paper would
+	// admit — and only sometimes — so the paper's may-set is already a
+	// sound over-approximation of it and it flows through unmirrored,
+	// like the scheduler-feedback GC and scrub paths, which are pure
+	// timing/victim-choice perturbations.
 	if m.hasFlash && ps.Normalized().Admit == policy.AdmitWLFC {
 		m.admit = policy.NewAdmitFilter()
 		m.writeAround = true

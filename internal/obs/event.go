@@ -73,6 +73,19 @@ const (
 	// superseded by a rewrite of the same LBA: the superseded
 	// program's bank occupancy was never charged.
 	KindWBCoalesce Kind = "wb_coalesce"
+	// KindGCDeferred is a non-forced background collection the
+	// contention-aware GC policy pushed off because the foreground
+	// channel backlog was deep (Dur the deepest backlog observed;
+	// Block is -1 — no victim was chosen).
+	KindGCDeferred Kind = "gc_deferred"
+	// KindAdmitThrottle is a hysteresis transition of the
+	// scheduler-informed admission throttle (To is "on" or "off"; N
+	// the write-buffer fill percentage at the flip).
+	KindAdmitThrottle Kind = "admit_throttle"
+	// KindScrubWindow is a scrub increment that landed deferred
+	// at-risk migrations in an idle channel/bank window (N migrations
+	// landed; Block is -1).
+	KindScrubWindow Kind = "scrub_window"
 	// KindShardMerge marks one shard's results folding into the merged
 	// report (N is the shard's request count; Block is -1).
 	KindShardMerge Kind = "shard_merge"

@@ -45,6 +45,14 @@ const (
 	// are admitted only on the second touch (demonstrated reuse), and
 	// dirty write-backs bypass Flash entirely (write-around to disk).
 	AdmitWLFC = "wlfc"
+	// AdmitThrottle is scheduler-informed admission throttling: while
+	// the NAND write buffer's fill fraction sits above a high-water
+	// mark (with hysteresis), dirty write-backs go write-around and
+	// cold read-miss fills (no demonstrated reuse yet) are rejected;
+	// when the buffer drains, admission recovers to the paper's
+	// admit-everything behaviour. With no write buffer configured the
+	// fill signal is always zero and the policy is the paper's.
+	AdmitThrottle = "throttle"
 )
 
 // GC victim-selection policy names.
@@ -61,14 +69,24 @@ const (
 	// LRU-tail blocks, approximating cost-benefit's age preference at
 	// greedy's scan cost.
 	GCWindowedGreedy = "windowed-greedy"
+	// GCContentionAware is scheduler-informed victim selection: each
+	// candidate's reclaimable benefit (invalid pages) is divided by
+	// the predicted wait on its bank, steering erases toward idle
+	// banks, and non-forced collection defers entirely while the
+	// foreground channel backlog is deep (a bounded number of times in
+	// a row, so reclamation can never starve). Without a clock the
+	// occupancy queries report an idle
+	// device: deferral never fires and the policy picks greedy's
+	// victim whenever greedy would collect.
+	GCContentionAware = "contention-aware"
 )
 
 // catalog maps each kind to its registered names; the first entry is
 // the default.
 var catalog = map[string][]string{
 	KindEvict: {EvictWearLRU, EvictCMWear},
-	KindAdmit: {AdmitPaper, AdmitWLFC},
-	KindGC:    {GCGreedy, GCCostBenefit, GCWindowedGreedy},
+	KindAdmit: {AdmitPaper, AdmitWLFC, AdmitThrottle},
+	KindGC:    {GCGreedy, GCCostBenefit, GCWindowedGreedy, GCContentionAware},
 }
 
 // Kinds returns the policy kinds in presentation order.

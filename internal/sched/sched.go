@@ -127,7 +127,12 @@ type Stats struct {
 	// buffer; CoalescedWrites the pending flushes a rewrite of the
 	// same LBA superseded (their bank occupancy was never charged);
 	// Flushes the deferred programs issued to the timelines;
-	// ForcedFlushes the subset evicted early by a full buffer.
+	// ForcedFlushes the subset a full buffer evicted strictly before
+	// their deadline — coalescing opportunities cut short. A flush at
+	// or past its deadline is drainDue's ordinary deadline flush and
+	// is never forced-attributed. Every admitted write retires exactly
+	// once, so after a drain BufferedWrites == CoalescedWrites +
+	// Flushes.
 	BufferedWrites, CoalescedWrites int64
 	Flushes, ForcedFlushes          int64
 }
@@ -231,6 +236,65 @@ func (s *Scheduler) Horizon() sim.Time {
 		}
 	}
 	return h
+}
+
+// Occupancy surface: cheap queries the policy layer feeds back on
+// (contention-aware GC victim selection, admission throttling, scrub
+// idle-window scheduling). Every query is a pure function of the
+// deterministic timeline/buffer state — no wall clock, no randomness,
+// no mutation — so feedback decisions replay byte-identically at any
+// worker count or batch split. Without a clock every query reports an
+// idle device, which makes feedback policies degrade exactly to their
+// occupancy-blind behaviour.
+
+// BankIdleAt returns the simulated instant block's bank comes free:
+// max(now, the bank's busy-until). Pending buffered writes are not on
+// the timelines until they flush and are excluded (BufferFill exposes
+// the buffer's pressure separately).
+func (s *Scheduler) BankIdleAt(block int, now sim.Time) sim.Time {
+	if s.clock == nil {
+		return now
+	}
+	_, bi := s.resources(block)
+	if t := s.bankFree[bi]; t.After(now) {
+		return t
+	}
+	return now
+}
+
+// BankWait returns how long a command on block issued now would wait
+// for its bank.
+func (s *Scheduler) BankWait(block int, now sim.Time) sim.Duration {
+	return s.BankIdleAt(block, now).Sub(now)
+}
+
+// ChanBacklog returns the committed queue depth of block's channel
+// port as a duration: how far its busy-until timeline runs past now.
+func (s *Scheduler) ChanBacklog(block int, now sim.Time) sim.Duration {
+	if s.clock == nil {
+		return 0
+	}
+	ci, _ := s.resources(block)
+	if d := s.chanFree[ci].Sub(now); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// MaxBacklog returns the deepest channel-port backlog across the
+// device — the foreground queue-depth signal background-GC deferral
+// keys on.
+func (s *Scheduler) MaxBacklog(now sim.Time) sim.Duration {
+	if s.clock == nil {
+		return 0
+	}
+	var deepest sim.Duration
+	for _, t := range s.chanFree {
+		if d := t.Sub(now); d > deepest {
+			deepest = d
+		}
+	}
+	return deepest
 }
 
 // SetBusy restores every timeline to t (checkpoint restore of the

@@ -313,3 +313,187 @@ func TestNewPanicsOnInvalid(t *testing.T) {
 	}()
 	New(Config{Channels: -1})
 }
+
+// TestOccupancyQueries pins the occupancy surface against hand-built
+// timelines. Geometry 2x2: block%2 is the channel, block/2 interleaves
+// the banks, so blocks 0 and 4 share channel 0 / bank 0, block 2 is
+// channel 0 / bank 1, block 1 is channel 1 / bank 2.
+func TestOccupancyQueries(t *testing.T) {
+	s, clock := newClocked(t, Config{Channels: 2, Banks: 2})
+	s.Background(0, OpErase, 2*ms)     // bank 0 busy to 2ms; erases leave the port free
+	s.Foreground(1, OpProgram, 500*us) // channel 1 + bank 2 busy to 500µs
+	now := clock.Now()
+	if got := s.BankWait(0, now); got != 2*ms {
+		t.Fatalf("BankWait(0) = %v, want 2ms", got)
+	}
+	if got := s.BankWait(4, now); got != 2*ms {
+		t.Fatalf("BankWait(4) = %v, want 2ms (shares block 0's bank)", got)
+	}
+	if got := s.BankWait(2, now); got != 0 {
+		t.Fatalf("BankWait(2) = %v, want 0 (other bank)", got)
+	}
+	if got := s.BankIdleAt(2, now); got != now {
+		t.Fatalf("BankIdleAt(2) = %v, want now", got)
+	}
+	if got := s.ChanBacklog(0, now); got != 0 {
+		t.Fatalf("ChanBacklog(0) = %v, want 0 (erase occupies the bank only)", got)
+	}
+	if got := s.ChanBacklog(1, now); got != 500*us {
+		t.Fatalf("ChanBacklog(1) = %v, want 500µs", got)
+	}
+	if got := s.MaxBacklog(now); got != 500*us {
+		t.Fatalf("MaxBacklog = %v, want 500µs", got)
+	}
+	// Readings shrink as the clock advances and floor at idle.
+	clock.Advance(sim.Duration(ms))
+	now = clock.Now()
+	if got := s.BankWait(0, now); got != ms {
+		t.Fatalf("BankWait(0) after 1ms = %v, want 1ms", got)
+	}
+	if got := s.MaxBacklog(now); got != 0 {
+		t.Fatalf("MaxBacklog after 1ms = %v, want 0", got)
+	}
+	// Queries are pure: none of the above touched the stats.
+	if st := s.Stats(); st.BankConflicts != 0 || st.ChanWaits != 0 {
+		t.Fatalf("occupancy queries mutated stats: %+v", st)
+	}
+}
+
+// TestOccupancyQueriesClockless: without a clock every query reports an
+// idle device, so feedback policies degrade to occupancy-blind
+// behaviour.
+func TestOccupancyQueriesClockless(t *testing.T) {
+	s := New(Config{Channels: 2, Banks: 2})
+	now := sim.Time(ms)
+	if got := s.BankIdleAt(3, now); got != now {
+		t.Fatalf("clockless BankIdleAt = %v, want now", got)
+	}
+	if got := s.BankWait(3, now); got != 0 {
+		t.Fatalf("clockless BankWait = %v, want 0", got)
+	}
+	if got := s.ChanBacklog(3, now); got != 0 {
+		t.Fatalf("clockless ChanBacklog = %v, want 0", got)
+	}
+	if got := s.MaxBacklog(now); got != 0 {
+		t.Fatalf("clockless MaxBacklog = %v, want 0", got)
+	}
+	if got := s.BufferFill(); got != 0 {
+		t.Fatalf("BufferFill without a buffer = %v, want 0", got)
+	}
+}
+
+// TestOccupancyQueriesAllocFree: the occupancy surface sits on the
+// feedback-policy hot path — every query must be allocation-free.
+func TestOccupancyQueriesAllocFree(t *testing.T) {
+	s, clock := newClocked(t, Config{Channels: 4, Banks: 2, WriteBufPages: 8})
+	s.Foreground(3, OpProgram, 200*us)
+	s.BufferWrite(11, 5, 200*us)
+	now := clock.Now()
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = s.BankIdleAt(3, now)
+		_ = s.BankWait(5, now)
+		_ = s.ChanBacklog(3, now)
+		_ = s.MaxBacklog(now)
+		_ = s.BufferFill()
+	}); avg != 0 {
+		t.Fatalf("occupancy queries allocate %v times per call set", avg)
+	}
+}
+
+// TestBufferFill tracks the admission-throttle feedback signal through
+// admissions, coalesces, and drains.
+func TestBufferFill(t *testing.T) {
+	s, clock := newClocked(t, Config{WriteBufPages: 4})
+	if got := s.BufferFill(); got != 0 {
+		t.Fatalf("empty BufferFill = %v", got)
+	}
+	s.BufferWrite(1, 0, 200*us)
+	s.BufferWrite(2, 0, 200*us)
+	if got := s.BufferFill(); got != 0.5 {
+		t.Fatalf("BufferFill = %v, want 0.5", got)
+	}
+	s.BufferWrite(1, 0, 200*us) // coalesce: live count unchanged
+	if got := s.BufferFill(); got != 0.5 {
+		t.Fatalf("BufferFill after coalesce = %v, want 0.5", got)
+	}
+	clock.Advance(DefaultCoalesceDelay + us)
+	s.Foreground(1, OpRead, us) // drains due entries
+	if got := s.BufferFill(); got != 0 {
+		t.Fatalf("BufferFill after drain = %v, want 0", got)
+	}
+}
+
+// TestBufferAccountingArithmetic: every buffered write leaves the
+// buffer exactly once, as a coalesce or as a flush — after a full
+// drain, BufferedWrites == CoalescedWrites + Flushes, with
+// ForcedFlushes a subset of Flushes.
+func TestBufferAccountingArithmetic(t *testing.T) {
+	s, clock := newClocked(t, Config{WriteBufPages: 2, CoalesceDelay: 500 * us})
+	s.BufferWrite(1, 0, 200*us)
+	s.BufferWrite(2, 1, 200*us)
+	s.BufferWrite(1, 0, 200*us) // coalesces lba 1
+	s.BufferWrite(3, 2, 200*us) // overflows: forces lba 2 out early
+	clock.Advance(sim.Duration(ms))
+	s.BufferWrite(4, 3, 200*us) // deadline-drains lbas 1 and 3 first
+	s.Drain()                   // flushes lba 4
+	st := s.Stats()
+	if st.BufferedWrites != 5 {
+		t.Fatalf("BufferedWrites = %d, want 5", st.BufferedWrites)
+	}
+	if st.BufferedWrites != st.CoalescedWrites+st.Flushes {
+		t.Fatalf("accounting leak: BufferedWrites %d != CoalescedWrites %d + Flushes %d",
+			st.BufferedWrites, st.CoalescedWrites, st.Flushes)
+	}
+	if st.CoalescedWrites != 1 || st.Flushes != 4 || st.ForcedFlushes != 1 {
+		t.Fatalf("buffer stats %+v", st)
+	}
+	if s.PendingWrites() != 0 {
+		t.Fatalf("%d writes pending after Drain", s.PendingWrites())
+	}
+}
+
+// TestForceFlushAtDeadlineNotForced: an entry that is already past its
+// deadline when the force-flush path reaches it is a deadline flush
+// drainDue owns — it must issue at its deadline (not now) and must not
+// count as forced, whichever caller gets there first.
+func TestForceFlushAtDeadlineNotForced(t *testing.T) {
+	s, clock := newClocked(t, Config{WriteBufPages: 2, CoalesceDelay: 500 * us})
+	s.BufferWrite(1, 0, 200*us) // deadline t=500µs
+	clock.Advance(600 * us)
+	fin := s.forceFlushOldest(clock.Now())
+	st := s.Stats()
+	if st.ForcedFlushes != 0 {
+		t.Fatalf("a due entry counted as forced: %+v", st)
+	}
+	if st.Flushes != 1 {
+		t.Fatalf("Flushes = %d, want 1", st.Flushes)
+	}
+	// Issued as drainDue would have: bank occupied from the deadline.
+	if want := sim.Time(700 * us); fin != want {
+		t.Fatalf("due entry finished at %v, want %v (deadline + program)", fin, want)
+	}
+}
+
+// TestSupersedeAfterForceFlush: once a force-flush has pushed an LBA's
+// entry onto the timelines, a rewrite of that LBA is a fresh buffered
+// write — it must not coalesce against the already-issued program.
+func TestSupersedeAfterForceFlush(t *testing.T) {
+	s, _ := newClocked(t, Config{WriteBufPages: 2})
+	s.BufferWrite(7, 0, 200*us)
+	s.BufferWrite(8, 1, 200*us)
+	s.BufferWrite(9, 2, 200*us) // overflow: lba 7 force-flushed
+	if st := s.Stats(); st.ForcedFlushes != 1 {
+		t.Fatalf("stats after overflow %+v", st)
+	}
+	s.BufferWrite(7, 0, 200*us) // rewrite of the flushed LBA: overflow again, no coalesce
+	st := s.Stats()
+	if st.CoalescedWrites != 0 {
+		t.Fatalf("rewrite coalesced against an already-flushed entry: %+v", st)
+	}
+	if st.BufferedWrites != 4 || st.ForcedFlushes != 2 || st.Flushes != 2 {
+		t.Fatalf("buffer stats %+v", st)
+	}
+	if s.PendingWrites() != 2 {
+		t.Fatalf("PendingWrites = %d, want 2 (lbas 9 and 7)", s.PendingWrites())
+	}
+}

@@ -134,8 +134,14 @@ func (s *Scheduler) drainDue(now sim.Time) {
 	}
 }
 
-// forceFlushOldest evicts the oldest live entry ahead of its deadline
-// (buffer overflow) and returns its finish time.
+// forceFlushOldest evicts the oldest live entry (buffer overflow) and
+// returns its finish time. ForcedFlushes counts coalescing
+// opportunities cut short — entries evicted strictly before their
+// deadline. An entry that is already due is a deadline flush drainDue
+// owns, not a miss: it is issued exactly as drainDue would issue it
+// (earliest = its deadline) and counts only as a plain flush, so the
+// forced counter never double-attributes a drainDue-at-the-deadline
+// flush regardless of which caller reaches the entry first.
 func (s *Scheduler) forceFlushOldest(now sim.Time) sim.Time {
 	w := &s.wb
 	for w.head < len(w.entries) {
@@ -144,8 +150,13 @@ func (s *Scheduler) forceFlushOldest(now sim.Time) sim.Time {
 			w.head++
 			continue
 		}
-		s.stats.ForcedFlushes++
-		fin := s.issueFlush(e, now)
+		earliest := now
+		if e.deadline.After(now) {
+			s.stats.ForcedFlushes++
+		} else {
+			earliest = e.deadline
+		}
+		fin := s.issueFlush(e, earliest)
 		w.head++
 		return fin
 	}
@@ -180,3 +191,13 @@ func (s *Scheduler) Drain() {
 // PendingWrites returns the number of live buffered writes awaiting
 // flush.
 func (s *Scheduler) PendingWrites() int { return s.wb.live }
+
+// BufferFill returns the write-buffer fill fraction in [0,1] — live
+// pending flushes over capacity, the admission-throttle feedback
+// signal. Zero when the buffer is disabled.
+func (s *Scheduler) BufferFill() float64 {
+	if s.cfg.WriteBufPages == 0 {
+		return 0
+	}
+	return float64(s.wb.live) / float64(s.cfg.WriteBufPages)
+}
